@@ -1,0 +1,56 @@
+package debruijnring
+
+import (
+	"fmt"
+
+	"debruijnring/internal/broadcast"
+	"debruijnring/internal/hypercube"
+)
+
+// BroadcastResult summarizes an all-to-all broadcast simulation (§3.2's
+// motivating application, after [LS90]).
+type BroadcastResult struct {
+	Rings       int // rings used
+	Steps       int // pipeline rounds (N−1)
+	TimeUnits   int // completion time under the length-proportional model
+	MaxLinkLoad int // payload units per link per round
+}
+
+// AllToAllBroadcast simulates every processor broadcasting a message of
+// the given size to all others over the supplied rings (obtained from
+// DisjointHamiltonianCycles), splitting each message evenly across the
+// rings.  With t edge-disjoint rings the completion time improves by a
+// factor of t over a single ring.
+func (g *Graph) AllToAllBroadcast(rings []*Ring, msgSize int) (*BroadcastResult, error) {
+	raw := make([][]int, len(rings))
+	for i, r := range rings {
+		raw[i] = r.Nodes
+	}
+	res, err := broadcast.Run(g.Nodes(), raw, msgSize)
+	if err != nil {
+		return nil, err
+	}
+	return &BroadcastResult{
+		Rings:       res.Rings,
+		Steps:       res.Steps,
+		TimeUnits:   res.TimeUnits,
+		MaxLinkLoad: res.MaxLinkLoad,
+	}, nil
+}
+
+// HypercubeRing embeds a fault-free ring of length at least 2ⁿ − 2f in the
+// binary n-cube with f ≤ n−2 faulty processors — the baseline the paper
+// compares against ([WC92, CL91a]; see the Chapter 2 comparison of Q_12
+// with B(4,6)).
+func HypercubeRing(n int, faults []int) ([]int, error) {
+	return hypercube.FaultFreeCycle(n, faults)
+}
+
+// HypercubeEdges returns the link count n·2ⁿ⁻¹ of Q_n, for the
+// edges-per-node-count comparison of Chapter 2.
+func HypercubeEdges(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("debruijnring: invalid hypercube dimension %d", n))
+	}
+	return hypercube.NumEdges(n)
+}

@@ -1,0 +1,320 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations for the design choices called out in
+// DESIGN.md.  Each benchmark exercises exactly the code path that produces
+// the corresponding artifact; `go test -bench=. -benchmem` therefore
+// doubles as the experiment driver (EXPERIMENTS.md records the outputs).
+package debruijnring
+
+import (
+	"testing"
+
+	"debruijnring/internal/broadcast"
+	"debruijnring/internal/butterfly"
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/ffc"
+	"debruijnring/internal/hamilton"
+	"debruijnring/internal/hypercube"
+	"debruijnring/internal/lfsr"
+	"debruijnring/internal/necklace"
+	"debruijnring/internal/word"
+)
+
+// BenchmarkTable21 regenerates a Table 2.1 row set: component size and
+// eccentricity statistics in B(2,10) under random faults.
+func BenchmarkTable21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ffc.Simulate(2, 10, []int{1, 5, 10, 50}, 25, uint64(i))
+	}
+}
+
+// BenchmarkTable22 regenerates a Table 2.2 row set for B(4,5).
+func BenchmarkTable22(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ffc.Simulate(4, 5, []int{1, 5, 10, 50}, 25, uint64(i))
+	}
+}
+
+// BenchmarkTable31 regenerates Table 3.1: ψ(d) for 2 ≤ d ≤ 38.
+func BenchmarkTable31(b *testing.B) {
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for d := 2; d <= 38; d++ {
+			sink += hamilton.Psi(d)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTable32 regenerates Table 3.2: MAX{ψ(d)−1, φ(d)} for 2 ≤ d ≤ 35.
+func BenchmarkTable32(b *testing.B) {
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for d := 2; d <= 35; d++ {
+			sink += hamilton.MaxEdgeFaults(d)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig11GraphBuild regenerates the Figure 1.1/1.2 structures: the
+// graphs B(2,3), B(2,4) and the UB degree census.
+func BenchmarkFig11GraphBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, nn := range []int{3, 4} {
+			g := debruijn.New(2, nn)
+			census := 0
+			for x := 0; x < g.Size; x++ {
+				census += g.UndirectedDegree(x)
+			}
+			_ = census
+		}
+	}
+}
+
+// BenchmarkFig23FFC regenerates the Example 2.1 / Figures 2.3–2.4
+// instance: the 21-node fault-free cycle of B(3,3) − {020, 112}, including
+// the necklace adjacency graph.
+func BenchmarkFig23FFC(b *testing.B) {
+	g := debruijn.New(3, 3)
+	f1, _ := g.Parse("020")
+	f2, _ := g.Parse("112")
+	faults := []int{f1, f2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ffc.Embed(g, faults)
+		if err != nil || len(res.Cycle) != 21 {
+			b.Fatal("wrong cycle")
+		}
+	}
+}
+
+// BenchmarkProp22 measures the FFC embedding at the guarantee boundary
+// f = d−2 on the 4096-node B(4,6).
+func BenchmarkProp22(b *testing.B) {
+	g := debruijn.New(4, 6)
+	faults := ffc.WorstCaseFaults(g, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ffc.Embed(g, faults)
+		if err != nil || len(res.Cycle) < ffc.UpperBound(g, 2) {
+			b.Fatal("bound violated")
+		}
+	}
+}
+
+// BenchmarkProp23 measures the binary single-fault embedding in B(2,10).
+func BenchmarkProp23(b *testing.B) {
+	g := debruijn.New(2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ffc.Embed(g, []int{i % g.Size})
+		if err != nil || len(res.Cycle) < g.Size-(g.N+1) {
+			b.Fatal("bound violated")
+		}
+	}
+}
+
+// BenchmarkDistributedFFC measures the network-level implementation
+// (§2.4) on B(4,5), rounds and all.
+func BenchmarkDistributedFFC(b *testing.B) {
+	g := debruijn.New(4, 5)
+	faults := []int{11, 222}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ffc.EmbedDistributed(g, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHypercubeBaseline regenerates the Chapter 2 comparison: Q_12
+// with two faults (4092-node ring) versus B(4,6) with two faults
+// (≥ 4084-node ring).
+func BenchmarkHypercubeBaseline(b *testing.B) {
+	b.Run("Q12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := hypercube.FaultFreeCycle(12, []int{100, 2000})
+			if err != nil || len(c) < 4092 {
+				b.Fatal("bound violated")
+			}
+		}
+	})
+	b.Run("B46", func(b *testing.B) {
+		g := debruijn.New(4, 6)
+		for i := 0; i < b.N; i++ {
+			res, err := ffc.Embed(g, []int{100, 2000})
+			if err != nil || len(res.Cycle) < 4084 {
+				b.Fatal("bound violated")
+			}
+		}
+	})
+}
+
+// BenchmarkFig32DisjointHCs regenerates the Example 3.3 / Figure 3.2
+// object: the 7 pairwise disjoint Hamiltonian cycles of B(13,2).
+func BenchmarkFig32DisjointHCs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fam, err := hamilton.DisjointHCs(13, 2)
+		if err != nil || len(fam.Cycles) != 7 {
+			b.Fatal("wrong family")
+		}
+	}
+}
+
+// BenchmarkFig33MBDecomposition regenerates the Figure 3.3 object: the
+// Hamiltonian decomposition of UMB(2,n), at the paper's n = 3 and at a
+// larger size.
+func BenchmarkFig33MBDecomposition(b *testing.B) {
+	b.Run("UMB23", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hamilton.MBDecomposition(2, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("UMB52", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hamilton.MBDecomposition(5, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig34ButterflyEmbed regenerates the §3.4 lift: Hamiltonian
+// cycles of the butterfly F(3,4) via Φ (Figure 3.4/3.5 machinery,
+// Propositions 3.5/3.6).
+func BenchmarkFig34ButterflyEmbed(b *testing.B) {
+	g := butterfly.New(3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles, err := g.DisjointHCs()
+		if err != nil || len(cycles) != hamilton.Psi(3) {
+			b.Fatal("wrong lift")
+		}
+	}
+}
+
+// BenchmarkProp34EdgeFaults measures fault-free HC construction at the
+// full tolerance for a composite arity (d = 12: tolerance 3).
+func BenchmarkProp34EdgeFaults(b *testing.B) {
+	faults := [][]int{{0, 1, 2}, {3, 2, 1}, {5, 5, 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hamilton.FaultFreeHC(12, 2, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCh4Counting regenerates the §4.3 example values and a large
+// count (all necklaces of B(2,32)).
+func BenchmarkCh4Counting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if necklace.CountAll(2, 12).Int64() != 352 {
+			b.Fatal("wrong count")
+		}
+		if necklace.CountAllByLength(2, 12, 6).Int64() != 9 {
+			b.Fatal("wrong count")
+		}
+		if necklace.CountWeightTotal(2, 12, 4).Int64() != 43 {
+			b.Fatal("wrong count")
+		}
+		necklace.CountAll(2, 32)
+	}
+}
+
+// BenchmarkAblationFFCVsSearch contrasts the necklace-stitching FFC
+// (linear time) against exhaustive longest-cycle search on the same faulty
+// instance — the reason the paper's constructive algorithm matters.
+func BenchmarkAblationFFCVsSearch(b *testing.B) {
+	g := debruijn.New(3, 3)
+	// The worst-case single fault 002 (§2.5), for which the optimum is
+	// exactly dⁿ − n = 24 — both methods hit it, at very different cost.
+	faults := ffc.WorstCaseFaults(g, 1)
+	fm := map[int]bool{faults[0]: true}
+	b.Run("FFC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ffc.Embed(g, faults); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ExhaustiveSearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if c := g.LongestCycleAvoiding(fm); len(c) != 24 {
+				b.Fatal("wrong length")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationHsCache contrasts rebuilding the maximal cycle for each
+// H_s against caching it — the reason lfsr.Maximal is a reusable object.
+func BenchmarkAblationHsCache(b *testing.B) {
+	b.Run("Recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := lfsr.New(13, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hamilton.HsCycle(m, 1+i%12, 0)
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		m, err := lfsr.New(13, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hamilton.HsCycle(m, 1+i%12, 0)
+		}
+	})
+}
+
+// BenchmarkAblationBroadcastSplit contrasts all-to-all broadcast over one
+// ring versus ψ(d) disjoint rings (the Chapter 3 motivation).
+func BenchmarkAblationBroadcastSplit(b *testing.B) {
+	g := debruijn.New(4, 2)
+	fam, err := hamilton.DisjointHCs(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rings := make([][]int, len(fam.Cycles))
+	for i, seq := range fam.Cycles {
+		rings[i] = g.NodesOfSequence(seq)
+	}
+	b.Run("OneRing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := broadcast.Run(g.Size, rings[:1], 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ThreeRings", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := broadcast.Run(g.Size, rings, 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWordKernels measures the integer-coded tuple primitives that
+// every algorithm above leans on.
+func BenchmarkWordKernels(b *testing.B) {
+	s := word.New(4, 10)
+	x := 123456
+	b.Run("RotL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x = s.RotL(x)
+		}
+	})
+	b.Run("NecklaceRep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = s.NecklaceRep(i % s.Size)
+		}
+	})
+	_ = x
+}

@@ -1,0 +1,80 @@
+package debruijnring
+
+import (
+	"fmt"
+
+	"debruijnring/internal/butterfly"
+)
+
+// Butterfly is the d-ary wrapped butterfly network F(d,n) with n·dⁿ
+// processors at n levels (§3.4).  Its nodes are coded level·dⁿ + column.
+type Butterfly struct {
+	b *butterfly.Graph
+}
+
+// NewButterfly returns F(d,n).
+func NewButterfly(d, n int) (*Butterfly, error) {
+	if d < 2 || n < 1 {
+		return nil, fmt.Errorf("debruijnring: invalid butterfly dimensions d=%d, n=%d", d, n)
+	}
+	return &Butterfly{b: butterfly.New(d, n)}, nil
+}
+
+// Nodes returns the processor count n·dⁿ.
+func (f *Butterfly) Nodes() int { return f.b.Size }
+
+// Node codes the processor at the given level and column.
+func (f *Butterfly) Node(level, column int) int { return f.b.Node(level, column) }
+
+// Split decodes a processor id into (level, column).
+func (f *Butterfly) Split(node int) (level, column int) { return f.b.Split(node) }
+
+// Label renders a processor as "(level,column-word)".
+func (f *Butterfly) Label(node int) string { return f.b.String(node) }
+
+// EmbedRingEdgeFaults finds a Hamiltonian ring of F(d,n) avoiding the
+// given faulty links, tolerating up to MaxTolerableEdgeFaults(d) failures
+// (Proposition 3.5).  Requires gcd(d,n) = 1.
+func (f *Butterfly) EmbedRingEdgeFaults(faults []Edge) (*Ring, error) {
+	pairs := make([][2]int, len(faults))
+	for i, e := range faults {
+		pairs[i] = [2]int{e.From, e.To}
+	}
+	cycle, err := f.b.FaultFreeHC(pairs)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{Nodes: cycle}, nil
+}
+
+// DisjointHamiltonianCycles returns ψ(d) pairwise edge-disjoint
+// Hamiltonian rings of F(d,n) (Proposition 3.6).  Requires gcd(d,n) = 1.
+func (f *Butterfly) DisjointHamiltonianCycles() ([]*Ring, error) {
+	cycles, err := f.b.DisjointHCs()
+	if err != nil {
+		return nil, err
+	}
+	rings := make([]*Ring, len(cycles))
+	for i, c := range cycles {
+		rings[i] = &Ring{Nodes: c}
+	}
+	return rings, nil
+}
+
+// Verify reports whether the ring is a valid cycle of the butterfly that
+// avoids the given faulty links.
+func (f *Butterfly) Verify(r *Ring, faults []Edge) bool {
+	if r == nil || !f.b.IsCycle(r.Nodes) {
+		return false
+	}
+	bad := make(map[Edge]bool, len(faults))
+	for _, e := range faults {
+		bad[e] = true
+	}
+	for i, v := range r.Nodes {
+		if bad[Edge{From: v, To: r.Nodes[(i+1)%len(r.Nodes)]}] {
+			return false
+		}
+	}
+	return true
+}

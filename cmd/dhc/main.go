@@ -1,0 +1,104 @@
+// Command dhc works with disjoint Hamiltonian cycles in De Bruijn
+// networks (Chapter 3 of Rowley–Bose).
+//
+// Usage:
+//
+//	dhc -table psi           # Table 3.1: ψ(d), 2 ≤ d ≤ 38
+//	dhc -table maxfaults     # Table 3.2: MAX{ψ(d)−1, φ(d)}, 2 ≤ d ≤ 35
+//	dhc -d 13 -n 2           # build, verify and print ψ(13) disjoint HCs
+//	dhc -d 5 -n 2 -mb        # Hamiltonian decomposition of MB(5,2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/hamilton"
+)
+
+func main() {
+	table := flag.String("table", "", "psi | maxfaults")
+	d := flag.Int("d", 0, "arity")
+	n := flag.Int("n", 2, "word length")
+	mb := flag.Bool("mb", false, "decompose the modified graph MB(d,n) instead")
+	quiet := flag.Bool("quiet", false, "suppress cycle listings")
+	flag.Parse()
+
+	switch *table {
+	case "psi":
+		fmt.Println("Table 3.1: ψ(d), the guaranteed number of disjoint Hamiltonian cycles")
+		fmt.Printf("%4s %6s\n", "d", "ψ(d)")
+		for dd := 2; dd <= 38; dd++ {
+			fmt.Printf("%4d %6d\n", dd, hamilton.Psi(dd))
+		}
+		return
+	case "maxfaults":
+		fmt.Println("Table 3.2: MAX{ψ(d)−1, φ(d)}, the tolerated edge-fault count")
+		fmt.Printf("%4s %6s %6s %12s\n", "d", "ψ(d)", "φ(d)", "MAX{ψ−1,φ}")
+		for dd := 2; dd <= 35; dd++ {
+			fmt.Printf("%4d %6d %6d %12d\n", dd, hamilton.Psi(dd), hamilton.EdgeFaultPhi(dd), hamilton.MaxEdgeFaults(dd))
+		}
+		return
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "dhc: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	if *d == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g := debruijn.New(*d, *n)
+
+	if *mb {
+		cycles, err := hamilton.MBDecomposition(*d, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dhc:", err)
+			os.Exit(1)
+		}
+		if err := hamilton.ValidateDecomposition(*d, *n, cycles); err != nil {
+			fmt.Fprintln(os.Stderr, "dhc: validation failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("MB(%d,%d): Hamiltonian decomposition into %d cycles of length %d (validated)\n",
+			*d, *n, len(cycles), g.Size)
+		if !*quiet {
+			for i, c := range cycles {
+				fmt.Printf("H_%d:", i)
+				for _, x := range c {
+					fmt.Printf(" %s", g.String(x))
+				}
+				fmt.Println()
+			}
+		}
+		return
+	}
+
+	fam, err := hamilton.DisjointHCs(*d, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhc:", err)
+		os.Exit(1)
+	}
+	nodeCycles := make([][]int, len(fam.Cycles))
+	for i, seq := range fam.Cycles {
+		nodeCycles[i] = g.NodesOfSequence(seq)
+		if !g.IsHamiltonian(nodeCycles[i]) {
+			fmt.Fprintf(os.Stderr, "dhc: cycle %d failed Hamiltonicity check\n", i)
+			os.Exit(1)
+		}
+	}
+	if !g.EdgeDisjoint(nodeCycles...) {
+		fmt.Fprintln(os.Stderr, "dhc: cycles are not edge-disjoint")
+		os.Exit(1)
+	}
+	fmt.Printf("B(%d,%d): %d pairwise edge-disjoint Hamiltonian cycles (ψ(%d) = %d, verified)\n",
+		*d, *n, len(fam.Cycles), *d, hamilton.Psi(*d))
+	if !*quiet {
+		for i, seq := range fam.Cycles {
+			fmt.Printf("H_%d (as a De Bruijn sequence): %v\n", i, seq)
+		}
+	}
+}

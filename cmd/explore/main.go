@@ -1,0 +1,139 @@
+// Command explore probes the open questions of Chapter 5 of Rowley–Bose on
+// small instances by exhaustive search.
+//
+// Usage:
+//
+//	explore -q 1 -d 6 -n 2 -trials 25   # HC under d−2 edge faults, composite d
+//	explore -q 2 -d 3 -n 2              # how many disjoint HCs exist exactly?
+//	explore -q 3 -d 3 -n 2 -trials 25   # UB cycles under 2(d−1)−1 node faults
+//	explore -q 4 -d 4 -n 2 -trials 25   # UB HCs under 2(d−2) edge faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/explore"
+	"debruijnring/internal/hamilton"
+)
+
+func main() {
+	q := flag.Int("q", 1, "question number (1-4, Chapter 5)")
+	d := flag.Int("d", 6, "arity")
+	n := flag.Int("n", 2, "word length")
+	trials := flag.Int("trials", 25, "random fault sets to test")
+	seed := flag.Uint64("seed", 5, "RNG seed")
+	flag.Parse()
+
+	g := debruijn.New(*d, *n)
+	rng := rand.New(rand.NewPCG(*seed, uint64(*q)))
+
+	switch *q {
+	case 1:
+		var sets [][][2]int
+		for t := 0; t < *trials; t++ {
+			set := make([][2]int, 0, *d-2)
+			seen := map[[2]int]bool{}
+			for len(set) < *d-2 {
+				u := rng.IntN(g.Size)
+				succ := g.Successors(u, nil)
+				v := succ[rng.IntN(len(succ))]
+				if u == v || seen[[2]int{u, v}] {
+					continue
+				}
+				seen[[2]int{u, v}] = true
+				set = append(set, [2]int{u, v})
+			}
+			sets = append(sets, set)
+		}
+		tested, counter, err := explore.Question1(*d, *n, sets)
+		if err != nil {
+			fail(err)
+		}
+		if counter != nil {
+			fmt.Printf("Q1 on B(%d,%d): COUNTEREXAMPLE after %d sets: %v\n", *d, *n, tested, counter)
+			return
+		}
+		fmt.Printf("Q1 on B(%d,%d): all %d random sets of %d edge faults left a Hamiltonian cycle\n",
+			*d, *n, tested, *d-2)
+		fmt.Printf("(guaranteed tolerance is only MAX{ψ−1, φ} = %d)\n", hamilton.MaxEdgeFaults(*d))
+
+	case 2:
+		k := 1
+		for {
+			if explore.Question2(*d, *n, k+1) == nil {
+				break
+			}
+			k++
+		}
+		fmt.Printf("Q2 on B(%d,%d): exactly %d pairwise disjoint Hamiltonian cycles exist "+
+			"(ψ(%d) = %d guaranteed, d−1 = %d conjectured)\n", *d, *n, k, *d, hamilton.Psi(*d), *d-1)
+
+	case 3:
+		f := 2*(*d-1) - 1
+		ok := true
+		for t := 0; t < *trials; t++ {
+			faults := map[int]bool{}
+			for len(faults) < f {
+				faults[rng.IntN(g.Size)] = true
+			}
+			var fs []int
+			for x := range faults {
+				fs = append(fs, x)
+			}
+			cycle, bound := explore.Question3(*d, *n, fs)
+			if bound > 0 && len(cycle) < bound {
+				fmt.Printf("Q3 on UB(%d,%d): faults %v leave only a %d-cycle < dⁿ−nf = %d\n",
+					*d, *n, fs, len(cycle), bound)
+				ok = false
+			}
+		}
+		if ok {
+			fmt.Printf("Q3 on UB(%d,%d): all %d sets of %d node faults left a cycle ≥ dⁿ−nf\n",
+				*d, *n, *trials, f)
+		}
+
+	case 4:
+		f := 2 * (*d - 2)
+		failures := 0
+		for t := 0; t < *trials; t++ {
+			var faults [][2]int
+			seen := map[[2]int]bool{}
+			for len(faults) < f {
+				u := rng.IntN(g.Size)
+				nb := g.UndirectedNeighbors(u, nil)
+				v := nb[rng.IntN(len(nb))]
+				a, b := u, v
+				if a > b {
+					a, b = b, a
+				}
+				if seen[[2]int{a, b}] {
+					continue
+				}
+				seen[[2]int{a, b}] = true
+				faults = append(faults, [2]int{a, b})
+			}
+			if explore.Question4(*d, *n, faults) == nil {
+				fmt.Printf("Q4 on UB(%d,%d): faults %v destroy every Hamiltonian cycle\n", *d, *n, faults)
+				failures++
+			}
+		}
+		fmt.Printf("Q4 on UB(%d,%d): %d of %d sets of %d edge faults destroyed all HCs\n",
+			*d, *n, failures, *trials, f)
+		if failures > 0 {
+			fmt.Println("(expected occasionally: random faults can take all but one of a node's edges)")
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "explore: -q must be 1, 2, 3 or 4")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "explore:", err)
+	os.Exit(1)
+}

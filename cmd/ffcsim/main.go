@@ -1,0 +1,60 @@
+// Command ffcsim regenerates Tables 2.1 and 2.2 of Rowley–Bose: the size
+// of the component containing R = 0…01 and the eccentricity of R in B(d,n)
+// with f randomly distributed faulty necklaces.
+//
+// Usage:
+//
+//	ffcsim                     # both paper tables (B(2,10) and B(4,5))
+//	ffcsim -d 2 -n 10          # one table
+//	ffcsim -d 4 -n 5 -trials 5000 -seed 7 -faults 0,1,2,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"debruijnring/internal/ffc"
+)
+
+func main() {
+	d := flag.Int("d", 0, "arity (0 = run both paper configurations)")
+	n := flag.Int("n", 0, "word length")
+	trials := flag.Int("trials", 1000, "trials per fault count")
+	seed := flag.Uint64("seed", 1991, "RNG seed")
+	faultList := flag.String("faults", "", "comma-separated fault counts (default: the paper's column)")
+	flag.Parse()
+
+	counts := ffc.DefaultFaultCounts
+	if *faultList != "" {
+		counts = nil
+		for _, tok := range strings.Split(*faultList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "ffcsim: bad fault count %q\n", tok)
+				os.Exit(2)
+			}
+			counts = append(counts, v)
+		}
+	}
+
+	run := func(d, n int, title string) {
+		fmt.Printf("%s (%d trials per row, seed %d)\n", title, *trials, *seed)
+		rows := ffc.Simulate(d, n, counts, *trials, *seed)
+		ffc.WriteTable(os.Stdout, d, n, rows)
+		fmt.Println()
+	}
+
+	if *d == 0 {
+		run(2, 10, "Table 2.1")
+		run(4, 5, "Table 2.2")
+		return
+	}
+	if *n == 0 {
+		fmt.Fprintln(os.Stderr, "ffcsim: -n required with -d")
+		os.Exit(2)
+	}
+	run(*d, *n, fmt.Sprintf("B(%d,%d) simulation", *d, *n))
+}

@@ -1,0 +1,84 @@
+// Command necklaces counts and enumerates necklaces in B(d,n) using the
+// Chapter 4 formulas (Propositions 4.1 and 4.2).
+//
+// Usage:
+//
+//	necklaces -d 2 -n 12                 # counts by length + total
+//	necklaces -d 2 -n 12 -weight 4       # restricted to weight 4
+//	necklaces -d 3 -n 4 -type 1,2,1      # restricted to a digit type
+//	necklaces -d 3 -n 4 -list            # enumerate representatives
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"debruijnring/internal/necklace"
+	"debruijnring/internal/numtheory"
+	"debruijnring/internal/word"
+)
+
+func main() {
+	d := flag.Int("d", 2, "alphabet size")
+	n := flag.Int("n", 12, "necklace length")
+	weight := flag.Int("weight", -1, "restrict to nodes of this digit sum")
+	typeStr := flag.String("type", "", "restrict to this digit type, e.g. 1,2,1")
+	list := flag.Bool("list", false, "enumerate representatives (small n only)")
+	flag.Parse()
+
+	var gamma necklace.GammaFunc
+	var what string
+	switch {
+	case *typeStr != "":
+		var typ []int
+		for _, tok := range strings.Split(*typeStr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "necklaces: bad type entry %q\n", tok)
+				os.Exit(2)
+			}
+			typ = append(typ, v)
+		}
+		if len(typ) != *d {
+			fmt.Fprintf(os.Stderr, "necklaces: type needs %d entries\n", *d)
+			os.Exit(2)
+		}
+		gamma = necklace.GammaType(*n, typ)
+		what = fmt.Sprintf("of type %v", typ)
+	case *weight >= 0:
+		gamma = necklace.GammaWeight(*d, *n, *weight)
+		what = fmt.Sprintf("of weight %d", *weight)
+	default:
+		gamma = necklace.GammaAll(*d)
+		what = ""
+	}
+
+	fmt.Printf("Necklaces %sin B(%d,%d)\n", spaced(what), *d, *n)
+	fmt.Printf("%8s %s\n", "length", "count")
+	for _, t := range numtheory.Divisors(*n) {
+		fmt.Printf("%8d %s\n", t, necklace.CountByLength(*n, t, gamma))
+	}
+	fmt.Printf("%8s %s\n", "total", necklace.CountTotal(*n, gamma))
+
+	if *list {
+		s := word.New(*d, *n)
+		if s.Size > 1<<20 {
+			fmt.Fprintln(os.Stderr, "necklaces: graph too large to enumerate")
+			os.Exit(1)
+		}
+		fmt.Println("representatives:")
+		for _, nk := range necklace.EnumerateFKM(s) {
+			fmt.Printf("  [%s] length %d\n", s.String(nk.Rep), nk.Length)
+		}
+	}
+}
+
+func spaced(s string) string {
+	if s == "" {
+		return ""
+	}
+	return s + " "
+}

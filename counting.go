@@ -1,0 +1,44 @@
+package debruijnring
+
+import (
+	"math/big"
+
+	"debruijnring/internal/necklace"
+)
+
+// NecklaceCount returns the number of necklaces (rotation classes of
+// processor labels) in B(d,n) — e.g. 352 for B(2,12) (§4.3).
+func NecklaceCount(d, n int) *big.Int { return necklace.CountAll(d, n) }
+
+// NecklaceCountByLength returns the number of necklaces of length t in
+// B(d,n); nonzero only when t divides n.
+func NecklaceCountByLength(d, n, t int) *big.Int { return necklace.CountAllByLength(d, n, t) }
+
+// NecklaceCountByWeight returns the number of necklaces of B(d,n) whose
+// nodes have digit sum k.
+func NecklaceCountByWeight(d, n, k int) *big.Int { return necklace.CountWeightTotal(d, n, k) }
+
+// NecklaceCountByWeightLength restricts NecklaceCountByWeight to necklaces
+// of length t.
+func NecklaceCountByWeightLength(d, n, k, t int) *big.Int {
+	return necklace.CountWeightByLength(d, n, k, t)
+}
+
+// NecklaceCountByType returns the number of necklaces whose nodes contain
+// exactly typ[α] occurrences of each digit α; typ must have d entries
+// summing to n.
+func NecklaceCountByType(d, n int, typ []int) *big.Int {
+	return necklace.CountTypeTotal(d, n, typ)
+}
+
+// Necklace returns the rotation class of a processor: its canonical
+// representative (minimal rotation) and its length.
+func (g *Graph) Necklace(node int) (rep, length int) {
+	return g.g.NecklaceRep(node), g.g.Period(node)
+}
+
+// NecklaceMembers lists the processors on node's necklace in rotation
+// order, starting from the canonical representative.
+func (g *Graph) NecklaceMembers(node int) []int {
+	return g.g.NecklaceNodes(node, nil)
+}

@@ -1,0 +1,34 @@
+// Package debruijnring embeds fault-tolerant rings in De Bruijn networks,
+// implementing R. Rowley and B. Bose, "Fault-Tolerant Ring Embedding in
+// De Bruijn Networks" (ICPP 1991; thesis and IEEE ToC 42(12) versions).
+//
+// The d-ary De Bruijn network B(d,n) connects dⁿ processors, each labeled
+// by an n-digit word over Z_d, with links x₁x₂…xₙ → x₂…xₙα.  This package
+// answers two questions about it:
+//
+//   - Node failures (Chapter 2): after up to d−2 processors fail, a ring of
+//     length at least dⁿ − nf survives and can be found by a distributed
+//     algorithm in Θ(n) communication rounds.  See Graph.EmbedRing and
+//     Graph.EmbedRingDistributed.
+//
+//   - Link failures (Chapter 3): B(d,n) carries ψ(d) pairwise edge-disjoint
+//     Hamiltonian cycles (d−1 of them when d is a power of two), and a
+//     fault-free Hamiltonian cycle survives any MAX{ψ(d)−1, φ(d)} link
+//     failures — optimal (d−2) for prime-power d.  See
+//     Graph.DisjointHamiltonianCycles and Graph.EmbedRingEdgeFaults.
+//
+// The same machinery transfers to wrapped butterfly networks when
+// gcd(d,n) = 1 (§3.4, see Butterfly) and powers the necklace-counting
+// formulas of Chapter 4 (NecklaceCount and friends).  A hypercube baseline
+// (HypercubeRing) reproduces the paper's comparison against [WC92, CL91a].
+//
+// # Quick start
+//
+//	g, _ := debruijnring.New(4, 6)            // 4096-node network
+//	ring, stats, _ := g.EmbedRing([]int{faulty1, faulty2})
+//	// ring.Nodes is a cycle over the surviving processors,
+//	// len(ring.Nodes) ≥ 4096 − 6·2 = 4084.
+//
+// All embeddings have unit dilation and congestion: returned rings are
+// subgraphs of the (faulty) network.
+package debruijnring

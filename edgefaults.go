@@ -1,0 +1,111 @@
+package debruijnring
+
+import (
+	"fmt"
+
+	"debruijnring/internal/hamilton"
+)
+
+// Edge is a directed network link from one processor to another.
+type Edge struct {
+	From, To int
+}
+
+// Psi returns ψ(d), the guaranteed number of pairwise edge-disjoint
+// Hamiltonian cycles of B(d,n) for n ≥ 2 (Table 3.1).  ψ(d) = d−1 when d
+// is a power of two, which is optimal.
+func Psi(d int) int { return hamilton.Psi(d) }
+
+// Phi returns φ(d) = Σ pᵢ^eᵢ − 2k over the prime factorization of d: the
+// edge-fault count under which Proposition 3.3 guarantees a fault-free
+// Hamiltonian cycle.  For prime-power d, φ(d) = d−2, which is optimal.
+func Phi(d int) int { return hamilton.EdgeFaultPhi(d) }
+
+// MaxTolerableEdgeFaults returns MAX{ψ(d)−1, φ(d)}: the number of link
+// failures under which EmbedRingEdgeFaults always succeeds (Table 3.2).
+func MaxTolerableEdgeFaults(d int) int { return hamilton.MaxEdgeFaults(d) }
+
+// DisjointHamiltonianCycles returns ψ(d) pairwise edge-disjoint Hamiltonian
+// rings of the network (n ≥ 2).  Spreading ring traffic across them evens
+// link load; the AllToAllBroadcast simulation quantifies the benefit.
+func (g *Graph) DisjointHamiltonianCycles() ([]*Ring, error) {
+	fam, err := hamilton.DisjointHCs(g.d, g.n)
+	if err != nil {
+		return nil, err
+	}
+	rings := make([]*Ring, len(fam.Cycles))
+	for i, seq := range fam.Cycles {
+		rings[i] = &Ring{Nodes: g.g.NodesOfSequence(seq)}
+	}
+	return rings, nil
+}
+
+// EmbedRingEdgeFaults finds a Hamiltonian ring avoiding the given faulty
+// links.  It succeeds for any fault set of size at most
+// MaxTolerableEdgeFaults(d) (Proposition 3.4) and requires n ≥ 2.
+func (g *Graph) EmbedRingEdgeFaults(faults []Edge) (*Ring, error) {
+	windows := make([][]int, 0, len(faults))
+	for _, e := range faults {
+		if err := g.checkNodes([]int{e.From, e.To}); err != nil {
+			return nil, err
+		}
+		if !g.g.IsEdge(e.From, e.To) {
+			return nil, fmt.Errorf("debruijnring: (%s,%s) is not a network link",
+				g.Label(e.From), g.Label(e.To))
+		}
+		w := make([]int, g.n+1)
+		for i := 1; i <= g.n; i++ {
+			w[i-1] = g.g.Digit(e.From, i)
+		}
+		w[g.n] = g.g.Digit(e.To, g.n)
+		windows = append(windows, w)
+	}
+	seq, err := hamilton.FaultFreeHC(g.d, g.n, windows)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{Nodes: g.g.NodesOfSequence(seq)}, nil
+}
+
+// VerifyEdgeAvoidance reports whether the ring is a Hamiltonian cycle of
+// the network using none of the given links.
+func (g *Graph) VerifyEdgeAvoidance(r *Ring, faults []Edge) bool {
+	if r == nil || !g.g.IsHamiltonian(r.Nodes) {
+		return false
+	}
+	bad := make(map[Edge]bool, len(faults))
+	for _, e := range faults {
+		bad[e] = true
+	}
+	for i, v := range r.Nodes {
+		if bad[Edge{From: v, To: r.Nodes[(i+1)%len(r.Nodes)]}] {
+			return false
+		}
+	}
+	return true
+}
+
+// DeBruijnSequence returns the digit sequence of a Hamiltonian ring — a
+// De Bruijn sequence of order n over Z_d (§3.1: rings and circular
+// sequences are two views of the same object).
+func (g *Graph) DeBruijnSequence(r *Ring) []int {
+	return g.g.SequenceOfNodes(r.Nodes)
+}
+
+// ModifiedDecomposition returns the Hamiltonian decomposition of the
+// modified De Bruijn graph MB(d,n) (§3.2.3): d pairwise edge-disjoint
+// Hamiltonian rings covering every processor, at the cost of rerouting one
+// parallel link pair per ring through the corner nodes sⁿ.  Defined for
+// odd prime powers d (n ≥ 2, with d = 3, n = 2 excluded) and d = 2
+// (n ≥ 3).
+func (g *Graph) ModifiedDecomposition() ([]*Ring, error) {
+	cycles, err := hamilton.MBDecomposition(g.d, g.n)
+	if err != nil {
+		return nil, err
+	}
+	rings := make([]*Ring, len(cycles))
+	for i, c := range cycles {
+		rings[i] = &Ring{Nodes: c}
+	}
+	return rings, nil
+}

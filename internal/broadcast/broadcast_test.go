@@ -1,0 +1,108 @@
+package broadcast
+
+import (
+	"testing"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/hamilton"
+)
+
+func ringsFor(t *testing.T, d, n, count int) (int, [][]int) {
+	t.Helper()
+	g := debruijn.New(d, n)
+	fam, err := hamilton.DisjointHCs(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count > len(fam.Cycles) {
+		t.Fatalf("asked for %d rings, only ψ = %d available", count, len(fam.Cycles))
+	}
+	rings := make([][]int, count)
+	for i := 0; i < count; i++ {
+		rings[i] = g.NodesOfSequence(fam.Cycles[i])
+	}
+	return g.Size, rings
+}
+
+func TestSingleRingAllToAll(t *testing.T) {
+	size, rings := ringsFor(t, 4, 2, 1)
+	res, err := Run(size, rings, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != size-1 {
+		t.Errorf("steps = %d, want N−1 = %d", res.Steps, size-1)
+	}
+	if res.TimeUnits != (size-1)*12 {
+		t.Errorf("time = %d, want %d", res.TimeUnits, (size-1)*12)
+	}
+	if res.MaxLinkLoad != 12 {
+		t.Errorf("per-round link load = %d, want full message 12", res.MaxLinkLoad)
+	}
+}
+
+// TestDisjointSpeedup: with t disjoint HCs the completion time drops by a
+// factor of t and the per-link load stays at one chunk.
+func TestDisjointSpeedup(t *testing.T) {
+	size, rings := ringsFor(t, 4, 2, 3)
+	msg := 12
+	single, err := Run(size, rings[:1], msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(size, rings, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Steps != single.Steps {
+		t.Errorf("rounds changed: %d vs %d", multi.Steps, single.Steps)
+	}
+	if want := single.TimeUnits / 3; multi.TimeUnits != want {
+		t.Errorf("multi-ring time %d, want %d (3× speedup)", multi.TimeUnits, want)
+	}
+	if multi.MaxLinkLoad != msg/3 {
+		t.Errorf("per-round link load %d, want one chunk = %d", multi.MaxLinkLoad, msg/3)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	size, rings := ringsFor(t, 4, 2, 3)
+	if _, err := Run(size, nil, 6); err == nil {
+		t.Error("no rings should fail")
+	}
+	if _, err := Run(size, rings, 7); err == nil {
+		t.Error("message not divisible by the ring count should fail")
+	}
+	if _, err := Run(size+1, rings, 6); err == nil {
+		t.Error("non-Hamiltonian ring should fail")
+	}
+}
+
+func TestLargerNetwork(t *testing.T) {
+	size, rings := ringsFor(t, 2, 6, 1)
+	res, err := Run(size, rings, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != size-1 {
+		t.Errorf("steps = %d, want %d", res.Steps, size-1)
+	}
+	if res.TotalUnits != int64(4*size*(size-1)) {
+		t.Errorf("total units = %d", res.TotalUnits)
+	}
+}
+
+func BenchmarkAllToAllSingle(b *testing.B) {
+	g := debruijn.New(4, 2)
+	fam, err := hamilton.DisjointHCs(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rings := [][]int{g.NodesOfSequence(fam.Cycles[0])}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g.Size, rings, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

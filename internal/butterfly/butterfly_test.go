@@ -1,0 +1,257 @@
+package butterfly
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/hamilton"
+)
+
+// TestFigure34Structure checks F(2,3) against Figure 3.4: 24 nodes, out-
+// degree 2, level-advancing edges.
+func TestFigure34Structure(t *testing.T) {
+	g := New(2, 3)
+	if g.Size != 24 {
+		t.Fatalf("F(2,3) has %d nodes, want 24", g.Size)
+	}
+	if g.NumEdges() != 48 {
+		t.Errorf("F(2,3) has %d edges, want 48", g.NumEdges())
+	}
+	var buf []int
+	for v := 0; v < g.Size; v++ {
+		buf = g.Successors(v, buf)
+		if len(buf) != 2 {
+			t.Fatalf("node %s has %d successors", g.String(v), len(buf))
+		}
+		k, _ := g.Split(v)
+		for _, w := range buf {
+			kw, _ := g.Split(w)
+			if kw != (k+1)%3 {
+				t.Fatalf("edge %s → %s does not advance the level", g.String(v), g.String(w))
+			}
+			if !g.IsEdge(v, w) {
+				t.Fatalf("IsEdge(%s,%s) = false", g.String(v), g.String(w))
+			}
+		}
+	}
+	// Spot-check Figure 3.4 edges: (0,000) → (1,000) and (0,000) → (1,010)
+	// (level-0 edges may change digit 1... here digit k+1 = 1 is the
+	// second digit in paper numbering x₀x₁x₂; in our 1-indexed digits the
+	// successors of (0,000) change digit 1).
+	zero := g.Node(0, 0)
+	succ := g.Successors(zero, nil)
+	want := map[string]bool{"(1,000)": true, "(1,100)": true}
+	for _, w := range succ {
+		if !want[g.String(w)] {
+			t.Errorf("unexpected successor %s of (0,000)", g.String(w))
+		}
+	}
+}
+
+// TestFigure35Partition checks the [ABR90] partition: the classes S_x
+// partition the butterfly's nodes, and every De Bruijn edge induces
+// butterfly edges at every level (Lemma 3.8).
+func TestFigure35Partition(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 3}, {3, 3}, {2, 4}, {3, 4}} {
+		g := New(tc.d, tc.n)
+		db := debruijn.New(tc.d, tc.n)
+		seen := make(map[int]int)
+		for x := 0; x < db.Size; x++ {
+			for _, v := range g.DeBruijnClass(x) {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("F(%d,%d): node %s in S_%s and S_%s",
+						tc.d, tc.n, g.String(v), db.String(prev), db.String(x))
+				}
+				seen[v] = x
+			}
+		}
+		if len(seen) != g.Size {
+			t.Fatalf("F(%d,%d): classes cover %d of %d nodes", tc.d, tc.n, len(seen), g.Size)
+		}
+		// Lemma 3.8: for each De Bruijn edge (x,y) and level i, there is a
+		// butterfly edge S_x^i → S_y^{i+1}.
+		var buf []int
+		for x := 0; x < db.Size; x++ {
+			buf = db.Successors(x, buf)
+			for _, y := range buf {
+				for i := 0; i < tc.n; i++ {
+					u, v := g.ClassNode(x, i), g.ClassNode(y, i+1)
+					if !g.IsEdge(u, v) {
+						t.Fatalf("F(%d,%d): Lemma 3.8 fails for %s→%s at level %d",
+							tc.d, tc.n, db.String(x), db.String(y), i)
+					}
+					from, to, ok := g.ProjectEdge(db, u, v)
+					if !ok || from != x || to != y {
+						t.Fatalf("F(%d,%d): ProjectEdge(%s,%s) = (%s,%s,%v), want (%s,%s)",
+							tc.d, tc.n, g.String(u), g.String(v),
+							db.String(from), db.String(to), ok, db.String(x), db.String(y))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLemma39Example reproduces the worked example after Lemma 3.9: the
+// 4-cycle (110, 100, 001, 011) of B(2,3) lifts to the stated 12-cycle of
+// F(2,3).
+func TestLemma39Example(t *testing.T) {
+	g := New(2, 3)
+	db := debruijn.New(2, 3)
+	cycle := make([]int, 4)
+	for i, s := range []string{"110", "100", "001", "011"} {
+		x, err := db.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle[i] = x
+	}
+	if !db.IsCycle(cycle) {
+		t.Fatal("(110,100,001,011) should be a cycle of B(2,3)")
+	}
+	lifted := g.Lift(db, cycle)
+	want := []string{
+		"(0,110)", "(1,010)", "(2,010)", "(0,011)", "(1,011)", "(2,001)",
+		"(0,001)", "(1,101)", "(2,101)", "(0,100)", "(1,100)", "(2,110)",
+	}
+	if len(lifted) != len(want) {
+		t.Fatalf("lifted cycle has length %d, want 12", len(lifted))
+	}
+	for i, w := range want {
+		if g.String(lifted[i]) != w {
+			t.Fatalf("Φ(C)[%d] = %s, want %s", i, g.String(lifted[i]), w)
+		}
+	}
+	if !g.IsCycle(lifted) {
+		t.Error("Φ(C) should be a cycle of F(2,3)")
+	}
+}
+
+// TestLiftLengths: Φ maps a k-cycle to an LCM(k,n)-cycle (Lemma 3.9).
+func TestLiftLengths(t *testing.T) {
+	db := debruijn.New(2, 4)
+	g := New(2, 4)
+	for k := 1; k <= db.Size; k++ {
+		c := db.FindCycleOfLength(k, nil)
+		if c == nil {
+			continue
+		}
+		lifted := g.Lift(db, c)
+		if !g.IsCycle(lifted) {
+			t.Fatalf("lift of a %d-cycle is not a cycle", k)
+		}
+		wantLen := k
+		for wantLen%4 != 0 {
+			wantLen += k
+		}
+		if len(lifted) != wantLen {
+			t.Errorf("lift of %d-cycle has length %d, want lcm(k,n) = %d", k, len(lifted), wantLen)
+		}
+	}
+}
+
+// TestProp35FaultFreeHC: F(d,n) with gcd(d,n)=1 admits a Hamiltonian cycle
+// avoiding up to MAX{ψ(d)−1, φ(d)} faulty edges.
+func TestProp35FaultFreeHC(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, tc := range []struct{ d, n int }{{2, 3}, {3, 2}, {4, 3}, {5, 2}, {3, 4}, {5, 3}} {
+		g := New(tc.d, tc.n)
+		tol := hamilton.MaxEdgeFaults(tc.d)
+		for trial := 0; trial < 10; trial++ {
+			f := tol
+			if trial > 0 {
+				f = rng.IntN(tol + 1)
+			}
+			var faults [][2]int
+			var buf []int
+			for len(faults) < f {
+				u := rng.IntN(g.Size)
+				buf = g.Successors(u, buf)
+				v := buf[rng.IntN(len(buf))]
+				// Skip faults projecting to De Bruijn loops: they lie on
+				// no Hamiltonian cycle anyway.
+				db := debruijn.New(tc.d, tc.n)
+				if from, to, _ := g.ProjectEdge(db, u, v); from == to {
+					continue
+				}
+				faults = append(faults, [2]int{u, v})
+			}
+			hc, err := g.FaultFreeHC(faults)
+			if err != nil {
+				t.Fatalf("F(%d,%d) with %d faults: %v", tc.d, tc.n, f, err)
+			}
+			if len(hc) != g.Size {
+				t.Fatalf("F(%d,%d): HC length %d, want %d", tc.d, tc.n, len(hc), g.Size)
+			}
+			if !g.IsCycle(hc) {
+				t.Fatalf("F(%d,%d): result is not a cycle", tc.d, tc.n)
+			}
+			onCycle := make(map[[2]int]bool, len(hc))
+			for i, v := range hc {
+				onCycle[[2]int{v, hc[(i+1)%len(hc)]}] = true
+			}
+			for _, e := range faults {
+				if onCycle[e] {
+					t.Fatalf("F(%d,%d): HC uses faulty edge %v", tc.d, tc.n, e)
+				}
+			}
+		}
+	}
+}
+
+// TestProp36DisjointHCs: ψ(d) disjoint Hamiltonian cycles of F(d,n).
+func TestProp36DisjointHCs(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 3}, {3, 2}, {4, 3}, {5, 2}, {3, 4}} {
+		g := New(tc.d, tc.n)
+		cycles, err := g.DisjointHCs()
+		if err != nil {
+			t.Fatalf("F(%d,%d): %v", tc.d, tc.n, err)
+		}
+		if len(cycles) != hamilton.Psi(tc.d) {
+			t.Errorf("F(%d,%d): %d cycles, want ψ = %d", tc.d, tc.n, len(cycles), hamilton.Psi(tc.d))
+		}
+		for i, c := range cycles {
+			if len(c) != g.Size || !g.IsCycle(c) {
+				t.Fatalf("F(%d,%d): cycle %d invalid", tc.d, tc.n, i)
+			}
+		}
+		if !g.EdgeDisjoint(cycles...) {
+			t.Errorf("F(%d,%d): cycles are not edge-disjoint", tc.d, tc.n)
+		}
+	}
+}
+
+func TestGCDRestriction(t *testing.T) {
+	g := New(2, 4) // gcd(2,4) = 2
+	if _, err := g.FaultFreeHC(nil); err == nil {
+		t.Error("FaultFreeHC should reject gcd(d,n) > 1")
+	}
+	if _, err := g.DisjointHCs(); err == nil {
+		t.Error("DisjointHCs should reject gcd(d,n) > 1")
+	}
+}
+
+func TestNodeSplitRoundTrip(t *testing.T) {
+	g := New(3, 4)
+	for v := 0; v < g.Size; v++ {
+		k, x := g.Split(v)
+		if g.Node(k, x) != v {
+			t.Fatalf("Node(Split(%d)) = %d", v, g.Node(k, x))
+		}
+	}
+}
+
+func BenchmarkLiftHC(b *testing.B) {
+	db := debruijn.New(3, 4)
+	g := New(3, 4)
+	fam, err := hamilton.DisjointHCs(3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := db.NodesOfSequence(fam.Cycles[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Lift(db, nodes)
+	}
+}

@@ -1,0 +1,264 @@
+package debruijn
+
+import "fmt"
+
+// This file holds the exhaustive search primitives used to certify
+// optimality claims (§2.5) and to probe the open questions of Chapter 5 on
+// small instances: Hamiltonian cycle search under forbidden edges,
+// enumeration of all Hamiltonian cycles, and the undirected (UB) variants.
+
+const maxSearchNodes = 80
+
+// FindHamiltonianAvoidingEdges searches for a Hamiltonian cycle of B(d,n)
+// that uses none of the forbidden edges (edge codes as produced by Edge).
+// Returns nil when none exists.  Exhaustive; graphs are limited to
+// maxSearchNodes nodes.
+func (g *Graph) FindHamiltonianAvoidingEdges(badEdges map[int]bool) []int {
+	if g.Size > maxSearchNodes {
+		panic(fmt.Sprintf("debruijn: exhaustive search limited to %d nodes", maxSearchNodes))
+	}
+	onPath := make([]bool, g.Size)
+	path := make([]int, 0, g.Size)
+	var found []int
+
+	allowed := func(x, y int) bool { return !badEdges[g.Edge(x, y)] }
+
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if len(path) == g.Size {
+			if g.IsEdge(v, path[0]) && allowed(v, path[0]) {
+				found = append([]int(nil), path...)
+				return true
+			}
+			return false
+		}
+		var buf [64]int
+		for _, w := range g.Successors(v, buf[:0]) {
+			if w == v || onPath[w] || !allowed(v, w) {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+		return false
+	}
+
+	onPath[0] = true
+	path = append(path, 0)
+	if dfs(0) {
+		return found
+	}
+	return nil
+}
+
+// AllHamiltonianCycles enumerates every Hamiltonian cycle of B(d,n), each
+// reported once as a node sequence starting at node 0.  limit > 0 caps the
+// enumeration.  Exhaustive; small graphs only.  (The count for B(d,n) is
+// the classical (d!)^(dⁿ⁻¹)/dⁿ De Bruijn sequence count.)
+func (g *Graph) AllHamiltonianCycles(limit int) [][]int {
+	if g.Size > maxSearchNodes {
+		panic("debruijn: exhaustive search limited to small graphs")
+	}
+	onPath := make([]bool, g.Size)
+	path := make([]int, 0, g.Size)
+	var out [][]int
+
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if len(path) == g.Size {
+			if g.IsEdge(v, path[0]) {
+				out = append(out, append([]int(nil), path...))
+				if limit > 0 && len(out) >= limit {
+					return true
+				}
+			}
+			return false
+		}
+		var buf [64]int
+		for _, w := range g.Successors(v, buf[:0]) {
+			if w == v || onPath[w] {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+		return false
+	}
+
+	onPath[0] = true
+	path = append(path, 0)
+	dfs(0)
+	return out
+}
+
+// UndirectedNeighbors appends the UB(d,n) neighbours of x (loops removed,
+// orientation dropped, parallels merged) and returns the slice.
+func (g *Graph) UndirectedNeighbors(x int, dst []int) []int {
+	dst = dst[:0]
+	var buf [64]int
+	seen := map[int]bool{x: true}
+	for _, y := range g.Successors(x, buf[:0]) {
+		if !seen[y] {
+			seen[y] = true
+			dst = append(dst, y)
+		}
+	}
+	for _, y := range g.Predecessors(x, buf[:0]) {
+		if !seen[y] {
+			seen[y] = true
+			dst = append(dst, y)
+		}
+	}
+	return dst
+}
+
+// IsUndirectedCycle reports whether seq is a cycle of UB(d,n): distinct
+// nodes, consecutive pairs adjacent in either direction, length ≥ 3 (UB is
+// a simple graph).
+func (g *Graph) IsUndirectedCycle(seq []int) bool {
+	if len(seq) < 3 {
+		return false
+	}
+	seen := make(map[int]bool, len(seq))
+	for i, x := range seq {
+		if x < 0 || x >= g.Size || seen[x] {
+			return false
+		}
+		seen[x] = true
+		y := seq[(i+1)%len(seq)]
+		if x == y || (!g.IsEdge(x, y) && !g.IsEdge(y, x)) {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestUndirectedCycleAvoiding exhaustively finds a longest cycle of
+// UB(d,n) avoiding the given faulty nodes.  Small graphs only.
+func (g *Graph) LongestUndirectedCycleAvoiding(faults map[int]bool) []int {
+	if g.Size > maxSearchNodes {
+		panic("debruijn: exhaustive search limited to small graphs")
+	}
+	var best []int
+	onPath := make([]bool, g.Size)
+	path := make([]int, 0, g.Size)
+
+	adjacent := func(x, y int) bool { return g.IsEdge(x, y) || g.IsEdge(y, x) }
+
+	var dfs func(start, v int)
+	dfs = func(start, v int) {
+		if len(path) >= 3 && adjacent(v, start) && len(path) > len(best) {
+			best = append(best[:0], path...)
+		}
+		if len(path)+remainingUpper(g, start, v, onPath, faults) <= len(best) {
+			return
+		}
+		var buf []int
+		for _, w := range g.UndirectedNeighbors(v, buf) {
+			if w < start || onPath[w] || faults[w] {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			dfs(start, w)
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+	}
+
+	for start := 0; start < g.Size; start++ {
+		if faults[start] {
+			continue
+		}
+		onPath[start] = true
+		path = append(path[:0], start)
+		dfs(start, start)
+		onPath[start] = false
+	}
+	return best
+}
+
+// remainingUpper bounds how many more nodes the current undirected path
+// can still collect: the nodes reachable (undirected) from v through
+// unvisited, allowed nodes ≥ start.
+func remainingUpper(g *Graph, start, v int, onPath []bool, faults map[int]bool) int {
+	seen := map[int]bool{v: true}
+	stack := []int{v}
+	count := 0
+	var buf []int
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.UndirectedNeighbors(u, buf) {
+			if seen[w] || w < start || faults[w] {
+				continue
+			}
+			seen[w] = true
+			if !onPath[w] {
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count
+}
+
+// FindUndirectedHamiltonianAvoidingEdges searches for a Hamiltonian cycle
+// of UB(d,n) avoiding the given undirected edges (each coded as an ordered
+// pair {min, max}).  Small graphs only; returns nil if none exists.
+func (g *Graph) FindUndirectedHamiltonianAvoidingEdges(bad map[[2]int]bool) []int {
+	if g.Size > maxSearchNodes {
+		panic("debruijn: exhaustive search limited to small graphs")
+	}
+	norm := func(x, y int) [2]int {
+		if x > y {
+			x, y = y, x
+		}
+		return [2]int{x, y}
+	}
+	onPath := make([]bool, g.Size)
+	path := make([]int, 0, g.Size)
+	var found []int
+
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if len(path) == g.Size {
+			if (g.IsEdge(v, path[0]) || g.IsEdge(path[0], v)) && !bad[norm(v, path[0])] {
+				found = append([]int(nil), path...)
+				return true
+			}
+			return false
+		}
+		var buf []int
+		for _, w := range g.UndirectedNeighbors(v, buf) {
+			if onPath[w] || bad[norm(v, w)] {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+		return false
+	}
+
+	onPath[0] = true
+	path = append(path, 0)
+	if dfs(0) {
+		return found
+	}
+	return nil
+}

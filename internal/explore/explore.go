@@ -1,0 +1,137 @@
+// Package explore probes the open questions of Chapter 5 of Rowley–Bose on
+// small instances by exhaustive search.  None of these computations prove
+// the general statements — that is exactly why the paper leaves them open —
+// but they certify the answers on every instance small enough to decide,
+// which is the natural first step the chapter invites.
+//
+// The four questions:
+//
+//  1. Does B(d,n) admit a fault-free Hamiltonian cycle in the presence of
+//     d−2 edge failures for ALL d (not just prime powers)?
+//  2. Does B(d,n) admit d−1 disjoint Hamiltonian cycles (beyond the proven
+//     power-of-two case)?
+//  3. Does UB(d,n) admit a fault-free cycle of length ≥ dⁿ − nf with
+//     f < 2(d−1) node failures (twice the directed tolerance)?
+//  4. Does UB(d,n) admit a fault-free Hamiltonian cycle with 2(d−2) edge
+//     failures?
+package explore
+
+import (
+	"fmt"
+
+	"debruijnring/internal/debruijn"
+)
+
+// Question1 checks, for a given (d,n) and every fault set drawn by the
+// caller-supplied generator, whether B(d,n) retains a Hamiltonian cycle
+// after removing f = d−2 edges.  It returns the number of fault sets
+// tested and the first counterexample found (nil if none).
+func Question1(d, n int, faultSets [][][2]int) (tested int, counterexample [][2]int, err error) {
+	g := debruijn.New(d, n)
+	for _, set := range faultSets {
+		if len(set) != d-2 {
+			return tested, nil, fmt.Errorf("explore: Question 1 wants exactly d−2 = %d edge faults, got %d", d-2, len(set))
+		}
+		bad := make(map[int]bool, len(set))
+		for _, e := range set {
+			if !g.IsEdge(e[0], e[1]) {
+				return tested, nil, fmt.Errorf("explore: (%s,%s) is not an edge", g.String(e[0]), g.String(e[1]))
+			}
+			bad[g.Edge(e[0], e[1])] = true
+		}
+		tested++
+		if g.FindHamiltonianAvoidingEdges(bad) == nil {
+			return tested, set, nil
+		}
+	}
+	return tested, nil, nil
+}
+
+// Question2 searches B(d,n) for k pairwise edge-disjoint Hamiltonian
+// cycles by exhaustive backtracking over the full HC enumeration.  It
+// returns a witness family of size k, or nil when none exists (a definitive
+// negative for the instance).  Small graphs only.
+func Question2(d, n, k int) [][][]int {
+	g := debruijn.New(d, n)
+	all := g.AllHamiltonianCycles(0)
+	edgeSets := make([]map[int]bool, len(all))
+	for i, hc := range all {
+		es := make(map[int]bool, len(hc))
+		for _, e := range g.CycleEdges(hc) {
+			es[e] = true
+		}
+		edgeSets[i] = es
+	}
+	var chosen []int
+	var pick func(from int) bool
+	pick = func(from int) bool {
+		if len(chosen) == k {
+			return true
+		}
+		for i := from; i < len(all); i++ {
+			ok := true
+			for _, j := range chosen {
+				if sharesEdge(edgeSets[i], edgeSets[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, i)
+			if pick(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	if !pick(0) {
+		return nil
+	}
+	out := make([][][]int, 1)
+	for _, i := range chosen {
+		out[0] = append(out[0], all[i])
+	}
+	return out
+}
+
+func sharesEdge(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for e := range a {
+		if b[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// Question3 checks whether UB(d,n) retains a cycle of length at least
+// dⁿ − nf after the given node faults (f intended up to 2(d−1)−1).  It
+// returns the longest surviving cycle.
+func Question3(d, n int, faults []int) (cycle []int, bound int) {
+	g := debruijn.New(d, n)
+	fm := make(map[int]bool, len(faults))
+	for _, x := range faults {
+		fm[x] = true
+	}
+	return g.LongestUndirectedCycleAvoiding(fm), g.Size - n*len(faults)
+}
+
+// Question4 checks whether UB(d,n) retains a Hamiltonian cycle after the
+// given undirected edge faults (intended up to 2(d−2)).
+func Question4(d, n int, faults [][2]int) []int {
+	g := debruijn.New(d, n)
+	bad := make(map[[2]int]bool, len(faults))
+	for _, e := range faults {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		bad[[2]int{a, b}] = true
+	}
+	return g.FindUndirectedHamiltonianAvoidingEdges(bad)
+}

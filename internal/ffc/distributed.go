@@ -1,0 +1,355 @@
+package ffc
+
+import (
+	"errors"
+	"fmt"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/netsim"
+)
+
+// PhaseRounds breaks down the communication cost of the distributed FFC
+// run, mirroring the accounting of §2.4–§2.5: Θ(n) necklace-local work plus
+// the broadcast eccentricity K, for a total of O(K + n) rounds.
+type PhaseRounds struct {
+	Probe      int // necklace fault detection: n rounds
+	Broadcast  int // spanning-tree broadcast from R: ecc(R) rounds
+	Leader     int // earliest-node circulation: n rounds
+	Register   int // child-Y → parent registration: 1 round
+	Announce   int // star exit announcements: 1 round
+	Membership int // star membership circulation: n rounds
+}
+
+// Total returns the total number of communication rounds.
+func (p PhaseRounds) Total() int {
+	return p.Probe + p.Broadcast + p.Leader + p.Register + p.Announce + p.Membership
+}
+
+// DistResult is the outcome of the distributed FFC execution.
+type DistResult struct {
+	Cycle     []int
+	Root      int
+	BStarSize int
+	Rounds    PhaseRounds
+	Messages  int64
+}
+
+// Message payloads of the §2.4 protocol.  All messages travel along De
+// Bruijn edges except the single child→parent registration, which uses the
+// reverse direction of one edge (physical links are bidirectional).
+type (
+	probeMsg    struct{ Origin, Min int }
+	bcastMsg    struct{ Dist int }
+	leaderMsg   struct{ Dist, Node, TTL int }
+	registerMsg struct{ W int }
+	announceMsg struct{ Rep, Exit int }
+	memberMsg   struct {
+		W    int
+		TTL  int
+		List []announceMsg
+	}
+)
+
+// nodeState is the per-processor memory of the protocol.
+type nodeState struct {
+	faulty    bool
+	alive     bool // necklace known fault-free after the probe phase
+	rep       int  // necklace representative (learned during the probe)
+	dist      int  // broadcast distance from R (−1 = not reached)
+	parent    int  // broadcast parent (minimal sender at first receipt)
+	bestDist  int  // leader-election working state
+	bestNode  int
+	isExit    bool // outgoing node of its necklace for label exitW
+	exitW     int
+	successor int // computed H-successor (−1 until known)
+}
+
+// EmbedDistributed runs the network-level FFC implementation of §2.4 on a
+// simulated synchronous De Bruijn network, rooting the broadcast at the
+// minimal alive necklace representative.
+func EmbedDistributed(g *debruijn.Graph, faults []int) (*DistResult, error) {
+	return EmbedDistributedFrom(g, faults, -1)
+}
+
+// EmbedDistributedFrom is EmbedDistributed with an explicit distinguished
+// node R (which must be the representative of a nonfaulty necklace, as in
+// the paper's Step 1.1).  root = −1 selects the minimal alive
+// representative.  The ring spans the component of B(d,n) minus faulty
+// necklaces that contains R.
+func EmbedDistributedFrom(g *debruijn.Graph, faults []int, root int) (*DistResult, error) {
+	net := netsim.New(g.Size)
+	states := make([]nodeState, g.Size)
+	for i := range states {
+		states[i] = nodeState{dist: -1, parent: -1, successor: -1, rep: -1, bestDist: -1}
+	}
+	for _, f := range faults {
+		states[f].faulty = true
+		net.Kill(f)
+	}
+
+	rounds := PhaseRounds{}
+
+	// --- Phase 1: necklace fault detection (n rounds, §2.4). ---
+	for x := 0; x < g.Size; x++ {
+		if !states[x].faulty {
+			net.Send(x, g.RotL(x), probeMsg{Origin: x, Min: x})
+		}
+	}
+	net.RunRounds(g.N, func(v int, inbox []netsim.Message) {
+		for _, m := range inbox {
+			p, ok := m.Payload.(probeMsg)
+			if !ok {
+				continue
+			}
+			if p.Origin == v {
+				states[v].alive = true
+				states[v].rep = min(p.Min, v)
+				continue
+			}
+			if v < p.Min {
+				p.Min = v
+			}
+			net.Send(v, g.RotL(v), p)
+		}
+	})
+	rounds.Probe = g.N
+
+	if root == -1 {
+		for x := 0; x < g.Size; x++ {
+			if states[x].alive {
+				root = x
+				break
+			}
+		}
+		if root == -1 {
+			return nil, errors.New("ffc: every necklace is faulty; no component survives")
+		}
+	}
+	if root < 0 || root >= g.Size || !states[root].alive || states[root].rep != root {
+		return nil, fmt.Errorf("ffc: root must be an alive necklace representative")
+	}
+	rootRep := states[root].rep
+
+	// --- Phase 2: broadcast from R (K = ecc(R) rounds, Step 1.1). ---
+	states[root].dist = 0
+	var buf []int
+	buf = g.Successors(root, buf)
+	for _, w := range buf {
+		if w != root {
+			net.Send(root, w, bcastMsg{Dist: 0})
+		}
+	}
+	rounds.Broadcast = net.RunUntilQuiet(func(v int, inbox []netsim.Message) {
+		st := &states[v]
+		if !st.alive || st.dist >= 0 {
+			return
+		}
+		first, dist := -1, 0
+		for _, m := range inbox {
+			bm, ok := m.Payload.(bcastMsg)
+			if !ok {
+				continue
+			}
+			if first == -1 || m.From < first {
+				first = m.From
+				dist = bm.Dist + 1
+			}
+		}
+		if first == -1 {
+			return
+		}
+		st.dist = dist
+		st.parent = first
+		var succ []int
+		succ = g.Successors(v, succ)
+		for _, w := range succ {
+			if w != v {
+				net.Send(v, w, bcastMsg{Dist: dist})
+			}
+		}
+	})
+
+	// --- Phase 3: earliest-node circulation (n rounds, Step 1.2). ---
+	for x := 0; x < g.Size; x++ {
+		st := &states[x]
+		if !st.alive || st.dist < 0 {
+			continue
+		}
+		st.bestDist, st.bestNode = st.dist, x
+		net.Send(x, g.RotL(x), leaderMsg{Dist: st.dist, Node: x, TTL: g.N})
+	}
+	net.RunRounds(g.N, func(v int, inbox []netsim.Message) {
+		st := &states[v]
+		for _, m := range inbox {
+			lm, ok := m.Payload.(leaderMsg)
+			if !ok {
+				continue
+			}
+			if st.bestDist >= 0 && (lm.Dist < st.bestDist || (lm.Dist == st.bestDist && lm.Node < st.bestNode)) {
+				st.bestDist, st.bestNode = lm.Dist, lm.Node
+			}
+			if lm.TTL > 1 && st.bestDist >= 0 {
+				net.Send(v, g.RotL(v), leaderMsg{Dist: st.bestDist, Node: st.bestNode, TTL: lm.TTL - 1})
+			}
+		}
+	})
+	rounds.Leader = g.N
+
+	// --- Phase 4: registration (1 round, Step 1.2 → Step 2). ---
+	// Y = wα informs its broadcast parent βw that it heads a tree edge
+	// labeled w (reverse-edge message); the necklace predecessor of Y marks
+	// itself as the child-side star exit.
+	for x := 0; x < g.Size; x++ {
+		st := &states[x]
+		if !st.alive || st.dist < 0 || st.rep == rootRep {
+			continue
+		}
+		if st.bestNode == x {
+			net.Send(x, st.parent, registerMsg{W: g.Prefix(x)})
+		}
+		if g.RotL(x) == st.bestNode {
+			st.isExit = true
+			st.exitW = g.Suffix(x)
+		}
+	}
+	net.RunRounds(1, func(v int, inbox []netsim.Message) {
+		st := &states[v]
+		for _, m := range inbox {
+			rm, ok := m.Payload.(registerMsg)
+			if !ok {
+				continue
+			}
+			if st.isExit && st.exitW != rm.W {
+				panic("ffc: node is star exit for two labels (height-1 property violated)")
+			}
+			st.isExit = true
+			st.exitW = rm.W
+		}
+	})
+	rounds.Register = 1
+
+	// --- Phase 5: star exit announcements (1 round, Step 2). ---
+	// Exit αw announces (rep, exit) to all successors {wβ}.  All
+	// announcements arriving at a node concern the label w of its own
+	// prefix; the entry node wα of each star necklace (the one whose own
+	// exit announced) collects the star's membership.
+	for x := 0; x < g.Size; x++ {
+		st := &states[x]
+		if !st.alive || st.dist < 0 || !st.isExit {
+			continue
+		}
+		var succ []int
+		succ = g.Successors(x, succ)
+		for _, w := range succ {
+			net.Send(x, w, announceMsg{Rep: st.rep, Exit: x})
+		}
+	}
+	entryLists := make(map[int][]announceMsg)
+	net.RunRounds(1, func(v int, inbox []netsim.Message) {
+		st := &states[v]
+		if !st.alive || st.dist < 0 {
+			return
+		}
+		var list []announceMsg
+		mine := false
+		for _, m := range inbox {
+			am, ok := m.Payload.(announceMsg)
+			if !ok {
+				continue
+			}
+			list = append(list, am)
+			if am.Rep == st.rep {
+				mine = true
+			}
+		}
+		if mine {
+			entryLists[v] = list
+		}
+	})
+	rounds.Announce = 1
+
+	// --- Phase 6: membership circulation (n rounds, Step 2). ---
+	// Each participating entry node passes the membership list around its
+	// necklace; when it reaches the exit for the same label, the exit
+	// applies the Step-2 ordering to pick its H-successor.
+	for v, list := range entryLists {
+		w := g.Prefix(v)
+		st := &states[v]
+		if st.isExit && st.exitW == w && st.successor < 0 {
+			st.successor = chooseSuccessor(g, st, list) // loop necklaces: entry = exit
+		}
+		net.Send(v, g.RotL(v), memberMsg{W: w, TTL: g.N, List: list})
+	}
+	net.RunRounds(g.N, func(v int, inbox []netsim.Message) {
+		st := &states[v]
+		for _, m := range inbox {
+			mm, ok := m.Payload.(memberMsg)
+			if !ok {
+				continue
+			}
+			if st.isExit && st.exitW == mm.W && st.successor < 0 {
+				st.successor = chooseSuccessor(g, st, mm.List)
+			}
+			if mm.TTL > 1 {
+				net.Send(v, g.RotL(v), memberMsg{W: mm.W, TTL: mm.TTL - 1, List: mm.List})
+			}
+		}
+	})
+	rounds.Membership = g.N
+
+	// --- Step 3: local successor rule; read off the ring. ---
+	want := 0
+	for x := 0; x < g.Size; x++ {
+		st := &states[x]
+		if !st.alive || st.dist < 0 {
+			continue
+		}
+		want++
+		if st.successor < 0 {
+			st.successor = g.RotL(x)
+		}
+	}
+	cycle := make([]int, 0, want)
+	x := root
+	for {
+		cycle = append(cycle, x)
+		x = states[x].successor
+		if x == root {
+			break
+		}
+		if len(cycle) > want {
+			return nil, fmt.Errorf("ffc: distributed walk exceeded %d nodes", want)
+		}
+	}
+	if len(cycle) != want {
+		return nil, fmt.Errorf("ffc: distributed walk closed after %d of %d nodes", len(cycle), want)
+	}
+	return &DistResult{
+		Cycle:     cycle,
+		Root:      root,
+		BStarSize: want,
+		Rounds:    rounds,
+		Messages:  net.MessagesSent,
+	}, nil
+}
+
+// chooseSuccessor implements the Step-2 ordering at an exit node: among the
+// star members (by representative), jump to the entry node of the
+// next-largest necklace, wrapping from the largest to the smallest.  The
+// entry node of a member is the left rotation of its exit node.
+func chooseSuccessor(g *debruijn.Graph, st *nodeState, list []announceMsg) int {
+	nextRep, nextExit := -1, -1
+	minRep, minExit := -1, -1
+	for _, am := range list {
+		if minRep == -1 || am.Rep < minRep {
+			minRep, minExit = am.Rep, am.Exit
+		}
+		if am.Rep > st.rep && (nextRep == -1 || am.Rep < nextRep) {
+			nextRep, nextExit = am.Rep, am.Exit
+		}
+	}
+	if nextExit == -1 {
+		nextExit = minExit
+	}
+	return g.RotL(nextExit)
+}

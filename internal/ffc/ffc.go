@@ -1,0 +1,387 @@
+// Package ffc implements Chapter 2 of Rowley–Bose: the fault-free cycle
+// (FFC) algorithm, which embeds a ring in the d-ary De Bruijn network
+// B(d,n) in the presence of node failures.
+//
+// The algorithm treats a necklace (rotation cycle) as faulty when it
+// contains a faulty node, removes the faulty necklaces, and stitches the
+// surviving necklaces of the largest remaining component B* into a single
+// Hamiltonian cycle of B*.  The stitching is guided by a spanning tree of
+// the necklace adjacency graph N* whose same-label edge sets T_w are
+// height-one stars (Step 1), each star being closed into a directed cycle
+// (Step 2); the ring is then read off by a purely local successor rule
+// (Step 3, Proposition 2.1).
+//
+// The package also provides the constructive fault-free routing paths of
+// Proposition 2.2, the worst-case fault family of §2.5, the random-fault
+// simulation harness behind Tables 2.1 and 2.2, and a distributed
+// implementation of the algorithm (§2.4) on a synchronous message-passing
+// network simulator.
+package ffc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"debruijnring/internal/debruijn"
+)
+
+// Result reports an embedding produced by Embed.
+type Result struct {
+	Cycle           []int        // Hamiltonian cycle of B*, starting at Root
+	Root            int          // the distinguished node R (minimal node of B*)
+	BStarSize       int          // |B*|
+	Eccentricity    int          // eccentricity of Root in B* (broadcast rounds, Step 1.1)
+	FaultyNecklaces map[int]bool // representatives of removed necklaces
+	FaultyNodeCount int          // total nodes in faulty necklaces (N_F of §2.5)
+
+	// Tree is the spanning tree T of N* built in Step 1: for each non-root
+	// necklace representative, its parent representative and edge label w.
+	Tree map[int]TreeEdge
+	// Overrides is the Step-3 successor map derived from the modified tree
+	// D: for every outgoing node, the entry node of the next necklace on
+	// its w-cycle.  Nodes absent from the map follow their necklace
+	// successor (left rotation).
+	Overrides map[int]int
+}
+
+// TreeEdge is one edge of the necklace spanning tree T: the child necklace
+// hangs from Parent with label W (an (n−1)-digit code).
+type TreeEdge struct {
+	Parent int // parent necklace representative
+	W      int // edge label, an (n−1)-tuple code
+}
+
+// Embed runs the FFC algorithm on B(d,n) with the given faulty nodes and
+// returns the fault-free ring.  It fails only when no nonfaulty necklace
+// survives.
+func Embed(g *debruijn.Graph, faults []int) (*Result, error) {
+	faultyReps := FaultyNecklaces(g, faults)
+	alive := func(x int) bool { return !faultyReps[g.NecklaceRep(x)] }
+
+	comp, err := LargestComponent(g, alive)
+	if err != nil {
+		return nil, err
+	}
+	root := comp.MinNode
+
+	res := &Result{
+		Root:            root,
+		BStarSize:       len(comp.Nodes),
+		FaultyNecklaces: faultyReps,
+	}
+	for rep := range faultyReps {
+		res.FaultyNodeCount += g.Period(rep)
+	}
+
+	// Step 1.1: broadcast from R; dist and min-predecessor parents.
+	dist, parent, ecc := broadcastTree(g, root, comp.Member)
+	res.Eccentricity = ecc
+
+	// Step 1.2: derive the necklace spanning tree T.
+	tree, err := necklaceTree(g, root, comp, dist, parent)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = tree
+
+	// Step 2: close each star T_w into a w-cycle; record successor
+	// overrides (Step 3 preparation).
+	res.Overrides = modifiedTreeOverrides(g, root, tree)
+
+	// Step 3: walk the successor rule from R.
+	cycle, err := walk(g, root, res.Overrides, len(comp.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	res.Cycle = cycle
+	return res, nil
+}
+
+// FaultyNecklaces returns the set of necklace representatives containing at
+// least one of the given faulty nodes.
+func FaultyNecklaces(g *debruijn.Graph, faults []int) map[int]bool {
+	reps := make(map[int]bool, len(faults))
+	for _, f := range faults {
+		if f < 0 || f >= g.Size {
+			panic(fmt.Sprintf("ffc: fault %d out of range", f))
+		}
+		reps[g.NecklaceRep(f)] = true
+	}
+	return reps
+}
+
+// Component is a connected component of the surviving subgraph.  Because
+// whole necklaces are removed, weak and strong connectivity coincide
+// (every inter-necklace edge αw → wβ has a directed return path through the
+// two necklaces via βw → wα), so Nodes is exactly the set reachable from
+// MinNode along directed edges.
+type Component struct {
+	Nodes   []int
+	MinNode int
+	Member  func(int) bool
+}
+
+// LargestComponent returns the largest component of the subgraph induced by
+// alive nodes, breaking ties toward the component with the smallest node.
+func LargestComponent(g *debruijn.Graph, alive func(int) bool) (*Component, error) {
+	compID := make([]int, g.Size)
+	for i := range compID {
+		compID[i] = -1
+	}
+	var sizes []int
+	var minNodes []int
+	var stack, buf []int
+	for x := 0; x < g.Size; x++ {
+		if !alive(x) || compID[x] != -1 {
+			continue
+		}
+		id := len(sizes)
+		sizes = append(sizes, 0)
+		minNodes = append(minNodes, x)
+		stack = append(stack[:0], x)
+		compID[x] = id
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sizes[id]++
+			buf = g.Successors(v, buf)
+			for _, w := range buf {
+				if alive(w) && compID[w] == -1 {
+					compID[w] = id
+					stack = append(stack, w)
+				}
+			}
+			buf = g.Predecessors(v, buf)
+			for _, w := range buf {
+				if alive(w) && compID[w] == -1 {
+					compID[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	if len(sizes) == 0 {
+		return nil, errors.New("ffc: every necklace is faulty; no component survives")
+	}
+	best := 0
+	for id := 1; id < len(sizes); id++ {
+		if sizes[id] > sizes[best] {
+			best = id
+		}
+	}
+	nodes := make([]int, 0, sizes[best])
+	for x := 0; x < g.Size; x++ {
+		if compID[x] == best {
+			nodes = append(nodes, x)
+		}
+	}
+	member := func(x int) bool { return x >= 0 && x < g.Size && compID[x] == best }
+	return &Component{Nodes: nodes, MinNode: minNodes[best], Member: member}, nil
+}
+
+// broadcastTree performs the Step 1.1 broadcast: BFS from root along
+// directed edges within the component.  The parent of x is the minimal
+// predecessor at distance dist(x)−1, mirroring "the predecessor from which
+// X first receives M, ties broken toward the minimal predecessor".
+func broadcastTree(g *debruijn.Graph, root int, member func(int) bool) (dist map[int]int, parent map[int]int, ecc int) {
+	dist = map[int]int{root: 0}
+	parent = make(map[int]int)
+	frontier := []int{root}
+	var buf []int
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			buf = g.Successors(v, buf)
+			for _, w := range buf {
+				if w == v || !member(w) {
+					continue
+				}
+				if _, ok := dist[w]; !ok {
+					dist[w] = dist[v] + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	for x, dx := range dist {
+		if dx > ecc {
+			ecc = dx
+		}
+		if x == root {
+			continue
+		}
+		best := -1
+		buf = g.Predecessors(x, buf)
+		for _, p := range buf {
+			if dp, ok := dist[p]; ok && dp == dx-1 && (best == -1 || p < best) {
+				best = p
+			}
+		}
+		if best == -1 {
+			panic("ffc: BFS node with no parent (unreachable)")
+		}
+		parent[x] = best
+	}
+	return dist, parent, ecc
+}
+
+// necklaceTree derives the spanning tree T of N* (Step 1.2): each non-root
+// necklace picks its earliest-informed node Y (ties toward the minimal
+// node); Y = wα hangs the necklace from the necklace of Y's broadcast
+// parent βw under label w.
+func necklaceTree(g *debruijn.Graph, root int, comp *Component, dist, parent map[int]int) (map[int]TreeEdge, error) {
+	rootRep := g.NecklaceRep(root)
+	if rootRep != root {
+		return nil, fmt.Errorf("ffc: root %s is not a necklace representative", g.String(root))
+	}
+	// Earliest node per necklace.
+	earliest := make(map[int]int) // rep → Y
+	for _, x := range comp.Nodes {
+		rep := g.NecklaceRep(x)
+		y, ok := earliest[rep]
+		if !ok || dist[x] < dist[y] || (dist[x] == dist[y] && x < y) {
+			earliest[rep] = x
+		}
+	}
+	tree := make(map[int]TreeEdge, len(earliest)-1)
+	for rep, y := range earliest {
+		if rep == rootRep {
+			continue
+		}
+		p, ok := parent[y]
+		if !ok {
+			return nil, fmt.Errorf("ffc: earliest node %s of necklace [%s] has no broadcast parent", g.String(y), g.String(rep))
+		}
+		w := g.Prefix(y) // Y = wα ⇒ label is Y's leading n−1 digits
+		parentRep := g.NecklaceRep(p)
+		if parentRep == rep {
+			return nil, fmt.Errorf("ffc: necklace [%s] would parent itself", g.String(rep))
+		}
+		tree[rep] = TreeEdge{Parent: parentRep, W: w}
+	}
+	return tree, nil
+}
+
+// suffixNode returns the unique node of the necklace [rep] whose trailing
+// n−1 digits equal w (the outgoing node αw), or −1 if none exists.
+func suffixNode(g *debruijn.Graph, rep, w int) int {
+	y := rep
+	for {
+		if g.Suffix(y) == w {
+			return y
+		}
+		y = g.RotL(y)
+		if y == rep {
+			return -1
+		}
+	}
+}
+
+// prefixNode returns the unique node of [rep] whose leading n−1 digits
+// equal w (the incoming node wβ), or −1.
+func prefixNode(g *debruijn.Graph, rep, w int) int {
+	y := rep
+	for {
+		if g.Prefix(y) == w {
+			return y
+		}
+		y = g.RotL(y)
+		if y == rep {
+			return -1
+		}
+	}
+}
+
+// modifiedTreeOverrides performs Step 2: every star T_w (one parent, its
+// w-labeled children) becomes a directed cycle ordered by necklace
+// representative, and the resulting w-edges are translated into the Step-3
+// successor overrides: the outgoing node αw of each necklace on the cycle
+// jumps to the incoming node wβ of the next necklace.
+func modifiedTreeOverrides(g *debruijn.Graph, root int, tree map[int]TreeEdge) map[int]int {
+	stars := make(map[int][]int) // w → member reps (children; parent added once)
+	parents := make(map[int]int) // w → parent rep
+	for child, e := range tree {
+		stars[e.W] = append(stars[e.W], child)
+		parents[e.W] = e.Parent
+	}
+	overrides := make(map[int]int)
+	for w, members := range stars {
+		members = append(members, parents[w])
+		sort.Ints(members)
+		k := len(members)
+		for i, rep := range members {
+			next := members[(i+1)%k]
+			out := suffixNode(g, rep, w)
+			in := prefixNode(g, next, w)
+			if out < 0 || in < 0 {
+				panic(fmt.Sprintf("ffc: star member [%s] lacks a w-node for w=%s (unreachable)",
+					g.String(rep), fmt.Sprint(w)))
+			}
+			overrides[out] = in
+		}
+	}
+	_ = root
+	return overrides
+}
+
+// walk reads off the Hamiltonian cycle of B* from the successor rule: an
+// outgoing node follows its override; every other node follows its
+// necklace successor (left rotation).
+func walk(g *debruijn.Graph, root int, overrides map[int]int, want int) ([]int, error) {
+	cycle := make([]int, 0, want)
+	x := root
+	for {
+		cycle = append(cycle, x)
+		next, ok := overrides[x]
+		if !ok {
+			next = g.RotL(x)
+		}
+		if next == root {
+			break
+		}
+		if len(cycle) > want {
+			return nil, fmt.Errorf("ffc: successor walk exceeded component size %d without closing", want)
+		}
+		x = next
+	}
+	if len(cycle) != want {
+		return nil, fmt.Errorf("ffc: walk closed after %d nodes, want %d (cycle not Hamiltonian in B*)", len(cycle), want)
+	}
+	return cycle, nil
+}
+
+// NecklaceAdjacency builds the necklace adjacency graph N* of the surviving
+// component (Definition, §2.2): nodes are necklace representatives; a
+// w-labeled edge joins [x] and [y] when αw ∈ [x] and βw ∈ [y] for α ≠ β.
+// The result maps each representative to its edge set, each edge giving the
+// label and the two endpoints.  Antiparallel pairs are reported once per
+// direction.
+func NecklaceAdjacency(g *debruijn.Graph, comp *Component) map[int][]AdjEdge {
+	adj := make(map[int][]AdjEdge)
+	for _, x := range comp.Nodes {
+		rep := g.NecklaceRep(x)
+		w := g.Suffix(x) // x = αw is the outgoing node for label w
+		// Successors wβ of x in other surviving necklaces yield w-edges.
+		base := w * g.D
+		for beta := 0; beta < g.D; beta++ {
+			y := base + beta
+			if !comp.Member(y) {
+				continue
+			}
+			yrep := g.NecklaceRep(y)
+			if yrep == rep {
+				continue
+			}
+			adj[rep] = append(adj[rep], AdjEdge{W: w, From: rep, To: yrep})
+		}
+	}
+	return adj
+}
+
+// AdjEdge is a directed labeled edge of N*.
+type AdjEdge struct {
+	W        int
+	From, To int
+}

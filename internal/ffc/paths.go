@@ -1,0 +1,170 @@
+package ffc
+
+import (
+	"errors"
+	"fmt"
+
+	"debruijnring/internal/debruijn"
+)
+
+// FaultFreePath constructs a directed path of length at most 2n from x to y
+// avoiding all faulty necklaces, using the necklace-disjoint path families
+// of Proposition 2.2: one of the d paths P_α (x → αⁿ) composed, via the
+// shortcut edge xₙα^{n−1} → α^{n−1}(α+i), with one of the d−1 paths Q_i
+// (αⁿ → y).  It requires f ≤ d−2 faulty necklaces and that x and y lie on
+// nonfaulty necklaces; under those premises a fault-free combination always
+// exists.
+func FaultFreePath(g *debruijn.Graph, x, y int, faultyReps map[int]bool) ([]int, error) {
+	bad := func(v int) bool { return faultyReps[g.NecklaceRep(v)] }
+	if bad(x) || bad(y) {
+		return nil, errors.New("ffc: endpoints must lie on nonfaulty necklaces")
+	}
+	if x == y {
+		return []int{x}, nil
+	}
+	// Try every α whose outward path P_α is internally fault-free, then
+	// every shift i whose return path Q_i is fault-free.
+	for alpha := 0; alpha < g.D; alpha++ {
+		pa, ok := outwardPath(g, x, alpha, bad)
+		if !ok {
+			continue
+		}
+		for i := 1; i < g.D; i++ {
+			beta := (alpha + i) % g.D
+			qi, ok := returnPath(g, alpha, beta, y, bad)
+			if !ok {
+				continue
+			}
+			// pa ends at xₙα^{n−1}; qi begins at α^{n−1}β; the shortcut
+			// edge joins them directly, skipping αⁿ.
+			path := append(append([]int{}, pa...), qi...)
+			path = compressWalk(path)
+			if len(path)-1 > 2*g.N {
+				return nil, fmt.Errorf("ffc: combined path has length %d > 2n", len(path)-1)
+			}
+			return path, nil
+		}
+	}
+	return nil, errors.New("ffc: no fault-free P_α/Q_i combination (more than d−2 faults?)")
+}
+
+// outwardPath builds P_α up to (and including) the node xₙα^{n−1}, the
+// predecessor of αⁿ, verifying that every node after x is on a nonfaulty
+// necklace.  (αⁿ itself is skipped by the shortcut.)
+func outwardPath(g *debruijn.Graph, x, alpha int, bad func(int) bool) ([]int, bool) {
+	path := []int{x}
+	v := x
+	for j := 0; j < g.N-1; j++ {
+		v = g.Successor(v, alpha)
+		if bad(v) {
+			return nil, false
+		}
+		path = append(path, v)
+	}
+	return path, true
+}
+
+// returnPath builds the tail of Q_i from α^{n−1}β down to y, verifying
+// fault-freedom of every node strictly before y (y itself was checked by
+// the caller).  β = α+i.
+func returnPath(g *debruijn.Graph, alpha, beta, y int, bad func(int) bool) ([]int, bool) {
+	// Nodes: α^{n−1}β, α^{n−2}βy₁, …, βy₁…y_{n−1}, y.
+	v := g.Repeat(alpha)
+	v = g.Successor(v, beta)
+	if bad(v) {
+		return nil, false
+	}
+	path := []int{v}
+	for j := 1; j <= g.N; j++ {
+		v = g.Successor(v, g.Digit(y, j))
+		if j < g.N && bad(v) {
+			return nil, false
+		}
+		path = append(path, v)
+	}
+	return path, true
+}
+
+// compressWalk removes an immediate revisit of the same node (which can
+// occur when y's leading digits coincide with the junction pattern) by
+// cutting the walk at the first repetition and splicing.  The result is a
+// simple path.
+func compressWalk(walk []int) []int {
+	first := make(map[int]int, len(walk))
+	out := make([]int, 0, len(walk))
+	for _, v := range walk {
+		if idx, seen := first[v]; seen {
+			// Cut the loop: drop everything after the first occurrence.
+			for _, u := range out[idx+1:] {
+				delete(first, u)
+			}
+			out = out[:idx+1]
+			continue
+		}
+		first[v] = len(out)
+		out = append(out, v)
+	}
+	return out
+}
+
+// NecklacesOnPath returns the necklaces of the intermediate nodes of a path
+// (S_P of §2.5: initial and final nodes excluded).
+func NecklacesOnPath(g *debruijn.Graph, path []int) map[int]bool {
+	s := make(map[int]bool)
+	for i := 1; i < len(path)-1; i++ {
+		s[g.NecklaceRep(path[i])] = true
+	}
+	return s
+}
+
+// OutwardFamily returns the d paths {P_α} from x (each of length n, ending
+// at αⁿ), used by tests to verify their pairwise necklace-disjointness.
+func OutwardFamily(g *debruijn.Graph, x int) [][]int {
+	out := make([][]int, g.D)
+	for alpha := 0; alpha < g.D; alpha++ {
+		path := []int{x}
+		v := x
+		for j := 0; j < g.N; j++ {
+			v = g.Successor(v, alpha)
+			path = append(path, v)
+		}
+		out[alpha] = path
+	}
+	return out
+}
+
+// ReturnFamily returns the d−1 paths {Q_i} from αⁿ to y (each of length
+// n+1), used by tests to verify their pairwise necklace-disjointness.
+func ReturnFamily(g *debruijn.Graph, alpha, y int) [][]int {
+	out := make([][]int, 0, g.D-1)
+	for i := 1; i < g.D; i++ {
+		beta := (alpha + i) % g.D
+		path := []int{g.Repeat(alpha)}
+		v := g.Successor(g.Repeat(alpha), beta)
+		path = append(path, v)
+		for j := 1; j <= g.N; j++ {
+			v = g.Successor(v, g.Digit(y, j))
+			path = append(path, v)
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// WorstCaseFaults returns the adversarial fault family of §2.5,
+// F = {α^{n−1}(d−1) | 0 ≤ α ≤ f−1}, for which no fault-free cycle longer
+// than dⁿ − nf exists.
+func WorstCaseFaults(g *debruijn.Graph, f int) []int {
+	if f < 0 || f > g.D {
+		panic(fmt.Sprintf("ffc: worst-case family needs 0 ≤ f ≤ d, got %d", f))
+	}
+	out := make([]int, f)
+	for a := 0; a < f; a++ {
+		out[a] = g.Successor(g.Repeat(a), g.D-1) // α^{n−1}(d−1)
+	}
+	return out
+}
+
+// UpperBound returns dⁿ − nf, the worst-case optimal cycle length of
+// Proposition 2.2 (all faults on distinct full-length necklaces).
+func UpperBound(g *debruijn.Graph, f int) int { return g.Size - g.N*f }

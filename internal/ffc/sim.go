@@ -1,0 +1,233 @@
+package ffc
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"debruijnring/internal/debruijn"
+)
+
+// SimRow is one row of Table 2.1/2.2: statistics, over repeated random
+// fault sets of size F, of the size of the component containing the fixed
+// source R = 0…01 and of R's eccentricity within it.
+type SimRow struct {
+	F       int
+	AvgSize float64
+	MaxSize int
+	MinSize int
+	Bound   int // dⁿ − nf, the Proposition 2.2 guarantee
+	AvgEcc  float64
+	MaxEcc  int
+	MinEcc  int
+
+	// AvgDeadNodes is the mean number of processors on faulty necklaces.
+	// The paper attributes the growing excess of AvgSize over dⁿ − nf to
+	// multiple faults landing on one necklace; this column quantifies the
+	// attribution: AvgSize ≈ dⁿ − AvgDeadNodes up to a handful of stranded
+	// processors.
+	AvgDeadNodes float64
+}
+
+// DefaultFaultCounts is the fault-count column of Tables 2.1 and 2.2.
+var DefaultFaultCounts = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40, 50}
+
+// Simulate reproduces the §2.5.2 experiment on B(d,n): for each fault count
+// f, run the given number of trials; in each trial f distinct faulty nodes
+// are drawn uniformly, their necklaces removed, and the size of the
+// component containing R = 0…01 (or a neighbouring node when R's necklace
+// is faulty, as in the paper) and the eccentricity of R in that component
+// are recorded.
+func Simulate(d, n int, faultCounts []int, trials int, seed uint64) []SimRow {
+	g := debruijn.New(d, n)
+	r := g.Successor(g.Repeat(0), 1) // R = 0…01
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	rows := make([]SimRow, 0, len(faultCounts))
+	for _, f := range faultCounts {
+		row := SimRow{F: f, MinSize: g.Size + 1, MinEcc: g.Size + 1, Bound: UpperBound(g, f)}
+		var sumSize, sumEcc, sumDead int64
+		for trial := 0; trial < trials; trial++ {
+			size, ecc, dead := oneTrial(g, r, f, rng)
+			sumSize += int64(size)
+			sumEcc += int64(ecc)
+			sumDead += int64(dead)
+			if size > row.MaxSize {
+				row.MaxSize = size
+			}
+			if size < row.MinSize {
+				row.MinSize = size
+			}
+			if ecc > row.MaxEcc {
+				row.MaxEcc = ecc
+			}
+			if ecc < row.MinEcc {
+				row.MinEcc = ecc
+			}
+		}
+		row.AvgSize = float64(sumSize) / float64(trials)
+		row.AvgEcc = float64(sumEcc) / float64(trials)
+		row.AvgDeadNodes = float64(sumDead) / float64(trials)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// oneTrial removes the necklaces of f random distinct faults and returns
+// the size of the source component, the source's eccentricity in it, and
+// the number of processors lost with faulty necklaces.
+func oneTrial(g *debruijn.Graph, r, f int, rng *rand.Rand) (size, ecc, dead int) {
+	faults := make(map[int]bool, f)
+	for len(faults) < f {
+		faults[rng.IntN(g.Size)] = true
+	}
+	faultyReps := make(map[int]bool, f)
+	for x := range faults {
+		faultyReps[g.NecklaceRep(x)] = true
+	}
+	alive := func(x int) bool { return !faultyReps[g.NecklaceRep(x)] }
+	for rep := range faultyReps {
+		dead += g.Period(rep)
+	}
+
+	// Label all components of the surviving graph (BFS over both edge
+	// directions; weak = strong connectivity here).
+	compID := make([]int, g.Size)
+	for i := range compID {
+		compID[i] = -1
+	}
+	var compSizes []int
+	var queue, buf []int
+	for x := 0; x < g.Size; x++ {
+		if !alive(x) || compID[x] != -1 {
+			continue
+		}
+		id := len(compSizes)
+		compSizes = append(compSizes, 0)
+		compID[x] = id
+		queue = append(queue[:0], x)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			compSizes[id]++
+			buf = g.Successors(v, buf)
+			for _, w := range buf {
+				if alive(w) && compID[w] == -1 {
+					compID[w] = id
+					queue = append(queue, w)
+				}
+			}
+			buf = g.Predecessors(v, buf)
+			for _, w := range buf {
+				if alive(w) && compID[w] == -1 {
+					compID[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	if len(compSizes) == 0 {
+		return 0, 0, dead
+	}
+
+	src := r
+	if !alive(src) {
+		// The paper: "If R was in a faulty necklace, a neighboring node was
+		// used instead."  Its tables never record a stranded source, so the
+		// replacement is taken as the node of the largest surviving
+		// component nearest to R (avoiding, e.g., the single node 0ⁿ that
+		// is isolated exactly when N(0…01) itself fails — Proposition 2.3).
+		largest := 0
+		for id, s := range compSizes {
+			if s > compSizes[largest] {
+				largest = id
+			}
+		}
+		src = nearestInComponent(g, r, largest, compID)
+		if src < 0 {
+			return 0, 0, dead
+		}
+	}
+
+	// Eccentricity of src: directed BFS within its component.
+	id := compID[src]
+	dist := map[int]int{src: 0}
+	frontier := []int{src}
+	depth := 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			buf = g.Successors(v, buf)
+			for _, w := range buf {
+				if w == v || compID[w] != id {
+					continue
+				}
+				if _, ok := dist[w]; !ok {
+					dist[w] = dist[v] + 1
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) > 0 {
+			depth++
+		}
+		frontier = next
+	}
+	return compSizes[id], depth, dead
+}
+
+// nearestInComponent returns the node of the given component closest to r
+// (BFS over both edge directions through the full graph, dead nodes
+// included as transit), ties broken toward smaller node values; −1 when the
+// component is empty.
+func nearestInComponent(g *debruijn.Graph, r, id int, compID []int) int {
+	seen := map[int]bool{r: true}
+	frontier := []int{r}
+	var buf []int
+	consider := func(w, best int) int {
+		if compID[w] == id && (best == -1 || w < best) {
+			return w
+		}
+		return best
+	}
+	if compID[r] == id {
+		return r
+	}
+	for len(frontier) > 0 {
+		var next []int
+		best := -1
+		for _, v := range frontier {
+			buf = g.Successors(v, buf)
+			for _, w := range buf {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+					best = consider(w, best)
+				}
+			}
+			buf = g.Predecessors(v, buf)
+			for _, w := range buf {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+					best = consider(w, best)
+				}
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// WriteTable renders rows in the layout of Tables 2.1/2.2.
+func WriteTable(w io.Writer, d, n int, rows []SimRow) {
+	fmt.Fprintf(w, "Component size and eccentricity of R in B(%d,%d) with f random faults\n", d, n)
+	fmt.Fprintf(w, "%4s %10s %9s %9s %9s %9s %8s %8s %10s\n",
+		"f", "Avg.Size", "Max.Size", "Min.Size", "d^n-nf", "Avg.Ecc", "Max.Ecc", "Min.Ecc", "Avg.Dead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %10.2f %9d %9d %9d %9.2f %8d %8d %10.2f\n",
+			r.F, r.AvgSize, r.MaxSize, r.MinSize, r.Bound, r.AvgEcc, r.MaxEcc, r.MinEcc, r.AvgDeadNodes)
+	}
+}

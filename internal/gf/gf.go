@@ -1,0 +1,317 @@
+// Package gf implements arithmetic in finite fields GF(p^e) and the search
+// for primitive polynomials over them.  Chapter 3 of Rowley–Bose builds
+// maximal cycles in B(d,n) (d a prime power) from linear recurrences whose
+// characteristic polynomial is primitive over GF(d); this package supplies
+// the field arithmetic and the polynomials.
+//
+// Field elements are coded as integers in [0, q): the element with code
+// c_{e−1}·p^{e−1} + … + c_1·p + c_0 is the residue class of the polynomial
+// c_{e−1}t^{e−1} + … + c_0 modulo a fixed irreducible polynomial of degree e
+// over Z_p.  Code 0 is the additive identity and code 1 the multiplicative
+// identity.  For e = 1 this reduces to ordinary arithmetic mod p.
+package gf
+
+import (
+	"fmt"
+
+	"debruijnring/internal/numtheory"
+)
+
+// MaxOrder bounds the field sizes this package will construct.  The paper's
+// experiments never need fields beyond GF(64).
+const MaxOrder = 1 << 12
+
+// Field is the Galois field GF(q) with q = p^e.  It precomputes full
+// addition and multiplication tables (q ≤ MaxOrder keeps them small) so that
+// element operations are single table lookups.  A Field is immutable after
+// NewField and safe for concurrent use.
+type Field struct {
+	P int // characteristic
+	E int // extension degree
+	Q int // order p^e
+
+	add [][]uint16
+	mul [][]uint16
+	inv []uint16 // inv[0] unused
+	neg []uint16
+
+	modulus []int // irreducible polynomial over Z_p used to build the field (degree E, monic)
+}
+
+// NewField constructs GF(q).  q must be a prime power not exceeding
+// MaxOrder.
+func NewField(q int) (*Field, error) {
+	p, e, ok := numtheory.PrimePowerOf(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: %d is not a prime power", q)
+	}
+	if q > MaxOrder {
+		return nil, fmt.Errorf("gf: field order %d exceeds limit %d", q, MaxOrder)
+	}
+	f := &Field{P: p, E: e, Q: q}
+	f.modulus = findIrreducible(p, e)
+	f.buildTables()
+	return f, nil
+}
+
+// MustField is NewField for callers with statically valid q.
+func MustField(q int) *Field {
+	f, err := NewField(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree e over
+// Z_p as a coefficient slice c[0..e] with c[e] = 1, found by exhaustive
+// search in lexicographic order of the low coefficients.  For e = 1 it
+// returns t (so reduction is just mod p).
+func findIrreducible(p, e int) []int {
+	if e == 1 {
+		return []int{0, 1}
+	}
+	total := 1
+	for i := 0; i < e; i++ {
+		total *= p
+	}
+	lower := enumerateMonic(p, e)
+	for code := 0; code < total; code++ {
+		cand := make([]int, e+1)
+		v := code
+		for i := 0; i < e; i++ {
+			cand[i] = v % p
+			v /= p
+		}
+		cand[e] = 1
+		if isIrreducibleZp(cand, p, lower) {
+			return cand
+		}
+	}
+	panic(fmt.Sprintf("gf: no irreducible polynomial of degree %d over Z_%d (unreachable)", e, p))
+}
+
+// enumerateMonic lists all monic polynomials over Z_p of degree 1..e/2,
+// the candidate divisors for trial division.
+func enumerateMonic(p, e int) [][]int {
+	var out [][]int
+	for deg := 1; deg <= e/2; deg++ {
+		total := 1
+		for i := 0; i < deg; i++ {
+			total *= p
+		}
+		for code := 0; code < total; code++ {
+			poly := make([]int, deg+1)
+			v := code
+			for i := 0; i < deg; i++ {
+				poly[i] = v % p
+				v /= p
+			}
+			poly[deg] = 1
+			out = append(out, poly)
+		}
+	}
+	return out
+}
+
+// isIrreducibleZp tests irreducibility by trial division over Z_p.
+func isIrreducibleZp(f []int, p int, divisors [][]int) bool {
+	for _, g := range divisors {
+		if polyRemZeroZp(f, g, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// polyRemZeroZp reports whether g divides f over Z_p (g monic).
+func polyRemZeroZp(f, g []int, p int) bool {
+	r := make([]int, len(f))
+	copy(r, f)
+	dg := len(g) - 1
+	for dr := len(r) - 1; dr >= dg; dr-- {
+		c := r[dr]
+		if c == 0 {
+			continue
+		}
+		for i := 0; i <= dg; i++ {
+			r[dr-dg+i] = ((r[dr-dg+i]-c*g[i])%p + p*p) % p
+		}
+	}
+	for i := 0; i < dg; i++ {
+		if r[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Field) buildTables() {
+	q, p, e := f.Q, f.P, f.E
+	f.add = make([][]uint16, q)
+	f.mul = make([][]uint16, q)
+	f.neg = make([]uint16, q)
+	f.inv = make([]uint16, q)
+	for a := 0; a < q; a++ {
+		f.add[a] = make([]uint16, q)
+		f.mul[a] = make([]uint16, q)
+	}
+	// Addition: coefficient-wise mod p.
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			s, av, bv, pw := 0, a, b, 1
+			for i := 0; i < e; i++ {
+				s += (av%p + bv%p) % p * pw
+				av /= p
+				bv /= p
+				pw *= p
+			}
+			f.add[a][b] = uint16(s)
+			f.add[b][a] = uint16(s)
+		}
+	}
+	for a := 0; a < q; a++ {
+		n, av, pw := 0, a, 1
+		for i := 0; i < e; i++ {
+			n += (p - av%p) % p * pw
+			av /= p
+			pw *= p
+		}
+		f.neg[a] = uint16(n)
+	}
+	// Multiplication: polynomial product modulo the field modulus.
+	coeffs := func(a int) []int {
+		c := make([]int, e)
+		for i := 0; i < e; i++ {
+			c[i] = a % p
+			a /= p
+		}
+		return c
+	}
+	for a := 0; a < q; a++ {
+		ca := coeffs(a)
+		for b := a; b < q; b++ {
+			cb := coeffs(b)
+			prod := make([]int, 2*e-1)
+			for i, x := range ca {
+				if x == 0 {
+					continue
+				}
+				for j, y := range cb {
+					prod[i+j] = (prod[i+j] + x*y) % p
+				}
+			}
+			// Reduce modulo the monic modulus of degree e.
+			for d := len(prod) - 1; d >= e; d-- {
+				c := prod[d]
+				if c == 0 {
+					continue
+				}
+				for i := 0; i <= e; i++ {
+					prod[d-e+i] = ((prod[d-e+i]-c*f.modulus[i])%p + p*p) % p
+				}
+			}
+			v, pw := 0, 1
+			for i := 0; i < e; i++ {
+				v += prod[i] * pw
+				pw *= p
+			}
+			f.mul[a][b] = uint16(v)
+			f.mul[b][a] = uint16(v)
+		}
+	}
+	// Inverses by scanning the multiplication table rows.
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.mul[a][b] == 1 {
+				f.inv[a] = uint16(b)
+				break
+			}
+		}
+		if f.inv[a] == 0 {
+			panic(fmt.Sprintf("gf: element %d has no inverse in GF(%d); modulus not irreducible", a, q))
+		}
+	}
+}
+
+// Add returns a + b.
+func (f *Field) Add(a, b int) int { return int(f.add[a][b]) }
+
+// Sub returns a − b.
+func (f *Field) Sub(a, b int) int { return int(f.add[a][f.neg[b]]) }
+
+// Neg returns −a.
+func (f *Field) Neg(a int) int { return int(f.neg[a]) }
+
+// Mul returns a·b.
+func (f *Field) Mul(a, b int) int { return int(f.mul[a][b]) }
+
+// Inv returns a⁻¹; it panics on a = 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return int(f.inv[a])
+}
+
+// Div returns a·b⁻¹.
+func (f *Field) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+// Pow returns a^k for k ≥ 0 (0⁰ = 1).
+func (f *Field) Pow(a, k int) int {
+	r := 1
+	for k > 0 {
+		if k&1 == 1 {
+			r = f.Mul(r, a)
+		}
+		a = f.Mul(a, a)
+		k >>= 1
+	}
+	return r
+}
+
+// Int returns the field element equal to the integer m (the image of m
+// under the ring map Z → GF(q)), i.e. 1 added to itself m mod p times.
+func (f *Field) Int(m int) int {
+	m %= f.P
+	if m < 0 {
+		m += f.P
+	}
+	return m // constant polynomials are coded by their value in [0, p)
+}
+
+// Two returns the field element 2 = 1 + 1 (0 in characteristic 2).
+func (f *Field) Two() int { return f.Int(2) }
+
+// Order returns the multiplicative order of a ≠ 0.
+func (f *Field) Order(a int) int {
+	if a == 0 {
+		panic("gf: order of zero")
+	}
+	n := f.Q - 1
+	ord := n
+	for _, pp := range numtheory.Factor(uint64(n)) {
+		for ord%int(pp.P) == 0 && f.Pow(a, ord/int(pp.P)) == 1 {
+			ord /= int(pp.P)
+		}
+	}
+	return ord
+}
+
+// Generator returns the least element (by code) generating GF(q)*.
+func (f *Field) Generator() int {
+	for a := 1; a < f.Q; a++ {
+		if f.Order(a) == f.Q-1 {
+			return a
+		}
+	}
+	panic("gf: no generator (unreachable)")
+}
+
+// Modulus returns a copy of the irreducible Z_p polynomial defining the
+// field (degree E, monic), low coefficient first.
+func (f *Field) Modulus() []int {
+	out := make([]int, len(f.modulus))
+	copy(out, f.modulus)
+	return out
+}

@@ -1,0 +1,326 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFieldErrors(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 15} {
+		if _, err := NewField(q); err == nil {
+			t.Errorf("NewField(%d) should fail", q)
+		}
+	}
+	if _, err := NewField(1 << 13); err == nil {
+		t.Error("oversized field should fail")
+	}
+}
+
+func TestPrimeFieldMatchesModularArithmetic(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 13} {
+		f := MustField(p)
+		for a := 0; a < p; a++ {
+			for b := 0; b < p; b++ {
+				if got := f.Add(a, b); got != (a+b)%p {
+					t.Fatalf("GF(%d): %d+%d = %d", p, a, b, got)
+				}
+				if got := f.Mul(a, b); got != (a*b)%p {
+					t.Fatalf("GF(%d): %d·%d = %d", p, a, b, got)
+				}
+			}
+			if got := f.Neg(a); got != (p-a)%p {
+				t.Fatalf("GF(%d): −%d = %d", p, a, got)
+			}
+		}
+	}
+}
+
+// fieldAxioms exhaustively checks the field axioms for GF(q).
+func fieldAxioms(t *testing.T, q int) {
+	t.Helper()
+	f := MustField(q)
+	for a := 0; a < q; a++ {
+		if f.Add(a, 0) != a || f.Mul(a, 1) != a || f.Mul(a, 0) != 0 {
+			t.Fatalf("GF(%d): identity laws fail at %d", q, a)
+		}
+		if f.Add(a, f.Neg(a)) != 0 {
+			t.Fatalf("GF(%d): a + (−a) ≠ 0 at %d", q, a)
+		}
+		if a != 0 && f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("GF(%d): a·a⁻¹ ≠ 1 at %d", q, a)
+		}
+		for b := 0; b < q; b++ {
+			if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("GF(%d): commutativity fails at (%d,%d)", q, a, b)
+			}
+			if f.Sub(f.Add(a, b), b) != a {
+				t.Fatalf("GF(%d): (a+b)−b ≠ a at (%d,%d)", q, a, b)
+			}
+			for c := 0; c < q; c++ {
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("GF(%d): distributivity fails at (%d,%d,%d)", q, a, b, c)
+				}
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("GF(%d): associativity fails at (%d,%d,%d)", q, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 8, 9, 16, 25, 27} {
+		fieldAxioms(t, q)
+	}
+}
+
+func TestGF4Structure(t *testing.T) {
+	// Example 3.2 uses GF(4) = {0, 1, ζ, ζ²} with ζ a root of x²+x+1:
+	// 1 + ζ = ζ², 1 + ζ² = ζ, ζ + ζ² = 1 and ζ³ = 1.
+	f := MustField(4)
+	zeta := f.Generator()
+	z2 := f.Mul(zeta, zeta)
+	if f.Add(1, zeta) != z2 {
+		t.Errorf("1 + ζ = %d, want ζ² = %d", f.Add(1, zeta), z2)
+	}
+	if f.Add(1, z2) != zeta {
+		t.Errorf("1 + ζ² = %d, want ζ = %d", f.Add(1, z2), zeta)
+	}
+	if f.Add(zeta, z2) != 1 {
+		t.Errorf("ζ + ζ² = %d, want 1", f.Add(zeta, z2))
+	}
+	if f.Pow(zeta, 3) != 1 {
+		t.Errorf("ζ³ = %d, want 1", f.Pow(zeta, 3))
+	}
+	if f.Two() != 0 {
+		t.Errorf("2 = %d in GF(4), want 0 (characteristic 2)", f.Two())
+	}
+}
+
+func TestCharacteristic(t *testing.T) {
+	for _, q := range []int{2, 4, 8, 16, 32} {
+		f := MustField(q)
+		for a := 0; a < q; a++ {
+			if f.Add(a, a) != 0 {
+				t.Fatalf("GF(%d): a + a ≠ 0 at %d", q, a)
+			}
+		}
+	}
+	f9 := MustField(9)
+	for a := 0; a < 9; a++ {
+		if f9.Add(f9.Add(a, a), a) != 0 {
+			t.Fatalf("GF(9): 3a ≠ 0 at %d", a)
+		}
+	}
+}
+
+func TestOrderAndGenerator(t *testing.T) {
+	for _, q := range []int{4, 5, 8, 9, 13, 16, 25} {
+		f := MustField(q)
+		g := f.Generator()
+		if ord := f.Order(g); ord != q-1 {
+			t.Errorf("GF(%d): generator order %d, want %d", q, ord, q-1)
+		}
+		// Order divides q−1 for every nonzero element.
+		for a := 1; a < q; a++ {
+			if (q-1)%f.Order(a) != 0 {
+				t.Errorf("GF(%d): order(%d) = %d does not divide %d", q, a, f.Order(a), q-1)
+			}
+			if f.Pow(a, f.Order(a)) != 1 {
+				t.Errorf("GF(%d): a^order ≠ 1 at %d", q, a)
+			}
+		}
+	}
+}
+
+func TestIntEmbedding(t *testing.T) {
+	f := MustField(9)
+	if f.Int(3) != 0 {
+		t.Errorf("Int(3) in GF(9) = %d, want 0", f.Int(3))
+	}
+	if f.Int(5) != 2 {
+		t.Errorf("Int(5) in GF(9) = %d, want 2", f.Int(5))
+	}
+	if f.Int(-1) != f.Neg(1) {
+		t.Errorf("Int(-1) = %d, want %d", f.Int(-1), f.Neg(1))
+	}
+	if f.Two() != 2 {
+		t.Errorf("Two() in GF(9) = %d, want 2", f.Two())
+	}
+}
+
+func TestPowProperties(t *testing.T) {
+	f := MustField(13)
+	check := func(a uint8, i, j uint8) bool {
+		x := int(a) % 13
+		if x == 0 {
+			x = 1
+		}
+		return f.Mul(f.Pow(x, int(i%20)), f.Pow(x, int(j%20))) == f.Pow(x, int(i%20)+int(j%20))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyModAndPowX(t *testing.T) {
+	f := MustField(3)
+	// m(x) = x² + 1 over GF(3); x² ≡ −1 ≡ 2.
+	m := Poly{1, 0, 1}
+	got := PowXMod(f, 2, m)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("x² mod (x²+1) over GF(3) = %v, want [2]", got)
+	}
+	// x⁴ ≡ (−1)² = 1.
+	got = PowXMod(f, 4, m)
+	if !isOne(got) {
+		t.Errorf("x⁴ mod (x²+1) = %v, want 1", got)
+	}
+	// x^0 = 1.
+	if !isOne(PowXMod(f, 0, m)) {
+		t.Error("x⁰ should be 1")
+	}
+}
+
+func TestPrimitiveRecurrenceKnownPolynomials(t *testing.T) {
+	// x² − x − 3 is primitive over GF(5) (Example 3.1): the recurrence
+	// s_{2+i} = s_{1+i} + 3s_i has period 24.
+	f := MustField(5)
+	r := Recurrence{F: f, A: []int{3, 1}}
+	if !r.IsPrimitive() {
+		t.Error("x² − x − 3 should be primitive over GF(5)")
+	}
+	// x³ = x² + 1 over GF(2), i.e. c_{i+3} = c_{i+2} + c_i (Example 3.6).
+	f2 := MustField(2)
+	r2 := Recurrence{F: f2, A: []int{1, 0, 1}}
+	if !r2.IsPrimitive() {
+		t.Error("x³ − x² − 1 should be primitive over GF(2)")
+	}
+	// x² − x − ζ is primitive over GF(4) (Example 3.2), with ζ the
+	// generator of GF(4)*.
+	f4 := MustField(4)
+	zeta := f4.Generator()
+	r4 := Recurrence{F: f4, A: []int{zeta, 1}}
+	if !r4.IsPrimitive() {
+		t.Error("x² − x − ζ should be primitive over GF(4)")
+	}
+	// Non-primitive examples: x² − 1 = (x−1)(x+1) over GF(5);
+	// x² − 2 is irreducible over GF(5) but has order 8 < 24.
+	if (Recurrence{F: f, A: []int{1, 0}}).IsPrimitive() {
+		t.Error("x² − 1 must not be primitive over GF(5)")
+	}
+	if (Recurrence{F: f, A: []int{2, 0}}).IsPrimitive() {
+		t.Error("x² − 2 must not be primitive over GF(5)")
+	}
+	// Zero constant term can never be primitive.
+	if (Recurrence{F: f, A: []int{0, 1}}).IsPrimitive() {
+		t.Error("recurrence with a_0 = 0 must not be primitive")
+	}
+}
+
+// sequencePeriod runs the recurrence from the given seed and returns the
+// period of the resulting sequence (brute force).
+func sequencePeriod(r Recurrence, seed []int) int {
+	n := r.N()
+	window := append([]int(nil), seed...)
+	start := append([]int(nil), seed...)
+	period := 0
+	for {
+		next := r.Next(window)
+		copy(window, window[1:])
+		window[n-1] = next
+		period++
+		same := true
+		for i := range window {
+			if window[i] != start[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return period
+		}
+		if period > 1<<20 {
+			return -1
+		}
+	}
+}
+
+func TestPrimitiveRecurrenceSequencePeriod(t *testing.T) {
+	// A primitive recurrence of order n over GF(q) yields a sequence of
+	// period qⁿ − 1 from any nonzero seed (§3.1).
+	for _, tc := range []struct{ q, n int }{{2, 3}, {2, 5}, {3, 3}, {4, 2}, {5, 2}, {8, 2}, {9, 2}, {13, 2}} {
+		f := MustField(tc.q)
+		r := PrimitiveRecurrence(f, tc.n)
+		want := 1
+		for i := 0; i < tc.n; i++ {
+			want *= tc.q
+		}
+		want--
+		seed := make([]int, tc.n)
+		seed[tc.n-1] = 1
+		if got := sequencePeriod(r, seed); got != want {
+			t.Errorf("GF(%d) order %d: sequence period %d, want %d", tc.q, tc.n, got, want)
+		}
+	}
+}
+
+func TestPrimitiveRecurrenceDeterministic(t *testing.T) {
+	f := MustField(5)
+	a := PrimitiveRecurrence(f, 3)
+	b := PrimitiveRecurrence(f, 3)
+	if len(a.A) != len(b.A) {
+		t.Fatal("nondeterministic search")
+	}
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			t.Fatal("nondeterministic search")
+		}
+	}
+}
+
+func TestRecurrenceFromCharPoly(t *testing.T) {
+	f := MustField(5)
+	r := Recurrence{F: f, A: []int{3, 1}}
+	p := r.CharPoly() // x² − x − 3 = x² + 4x + 2 over GF(5)
+	if p[0] != 2 || p[1] != 4 || p[2] != 1 {
+		t.Fatalf("CharPoly = %v", p)
+	}
+	back := RecurrenceFromCharPoly(f, p)
+	if back.A[0] != 3 || back.A[1] != 1 {
+		t.Fatalf("round trip = %v", back.A)
+	}
+}
+
+func TestOmegaSum(t *testing.T) {
+	f := MustField(5)
+	r := Recurrence{F: f, A: []int{3, 1}}
+	if got := r.OmegaSum(); got != 4 {
+		t.Errorf("ω = %d, want 4", got)
+	}
+	// For a primitive polynomial, 1 − ω ≠ 0 (else x = 1 would be a root).
+	for _, q := range []int{2, 3, 4, 5, 8, 9, 13} {
+		fq := MustField(q)
+		rq := PrimitiveRecurrence(fq, 2)
+		if fq.Sub(1, rq.OmegaSum()) == 0 {
+			t.Errorf("GF(%d): 1 − ω = 0 for primitive polynomial", q)
+		}
+	}
+}
+
+func BenchmarkPrimitiveRecurrence(b *testing.B) {
+	f := MustField(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrimitiveRecurrence(f, 2)
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	f := MustField(16)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += f.Mul(i&15, (i>>4)&15)
+	}
+	_ = s
+}

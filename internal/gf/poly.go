@@ -1,0 +1,198 @@
+package gf
+
+import (
+	"fmt"
+
+	"debruijnring/internal/numtheory"
+)
+
+// Poly is a polynomial over a Field, coefficient slice indexed by degree
+// (p[0] is the constant term).  The zero polynomial is the empty slice.
+// Polynomials are kept normalized: the leading coefficient is nonzero.
+type Poly []int
+
+// trim removes leading zero coefficients.
+func trim(p Poly) Poly {
+	for len(p) > 0 && p[len(p)-1] == 0 {
+		p = p[:len(p)-1]
+	}
+	return p
+}
+
+// Degree returns the degree of p, with Degree(0) = −1.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// MulMod returns a·b mod m over f, where m is monic of degree ≥ 1.
+func MulMod(f *Field, a, b, m Poly) Poly {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	prod := make(Poly, len(a)+len(b)-1)
+	for i, x := range a {
+		if x == 0 {
+			continue
+		}
+		for j, y := range b {
+			prod[i+j] = f.Add(prod[i+j], f.Mul(x, y))
+		}
+	}
+	return Mod(f, prod, m)
+}
+
+// Mod reduces p modulo monic m.
+func Mod(f *Field, p, m Poly) Poly {
+	dm := m.Degree()
+	if dm < 1 {
+		panic("gf: modulus must have degree ≥ 1")
+	}
+	r := make(Poly, len(p))
+	copy(r, p)
+	for d := len(r) - 1; d >= dm; d-- {
+		c := r[d]
+		if c == 0 {
+			continue
+		}
+		for i := 0; i <= dm; i++ {
+			r[d-dm+i] = f.Sub(r[d-dm+i], f.Mul(c, m[i]))
+		}
+	}
+	if len(r) > dm {
+		r = r[:dm]
+	}
+	return trim(r)
+}
+
+// PowXMod returns x^k mod m for monic m, by binary exponentiation.
+func PowXMod(f *Field, k uint64, m Poly) Poly {
+	result := Poly{1}
+	base := Poly{0, 1} // x
+	base = Mod(f, base, m)
+	for k > 0 {
+		if k&1 == 1 {
+			result = MulMod(f, result, base, m)
+		}
+		base = MulMod(f, base, base, m)
+		k >>= 1
+	}
+	return result
+}
+
+// isOne reports whether p is the constant polynomial 1.
+func isOne(p Poly) bool { return len(p) == 1 && p[0] == 1 }
+
+// Recurrence holds the coefficients of the degree-n linear recurrence
+//
+//	c_{n+i} = a_{n−1}·c_{n−1+i} + … + a_0·c_i     (paper eq. 3.1)
+//
+// over a field, i.e. the characteristic polynomial is
+//
+//	p(x) = xⁿ − a_{n−1}x^{n−1} − … − a_0          (paper eq. 3.2)
+type Recurrence struct {
+	F *Field
+	A []int // a_0 … a_{n−1}
+}
+
+// N returns the recurrence order.
+func (r Recurrence) N() int { return len(r.A) }
+
+// CharPoly returns the characteristic polynomial xⁿ − a_{n−1}x^{n−1} − … − a_0.
+func (r Recurrence) CharPoly() Poly {
+	n := len(r.A)
+	p := make(Poly, n+1)
+	for i, a := range r.A {
+		p[i] = r.F.Neg(a)
+	}
+	p[n] = 1
+	return p
+}
+
+// OmegaSum returns ω = a_0 + … + a_{n−1} in the field (Lemma 3.2).
+func (r Recurrence) OmegaSum() int {
+	w := 0
+	for _, a := range r.A {
+		w = r.F.Add(w, a)
+	}
+	return w
+}
+
+// Next computes the next sequence element from the window c_i…c_{n−1+i}.
+func (r Recurrence) Next(window []int) int {
+	s := 0
+	for i, a := range r.A {
+		s = r.F.Add(s, r.F.Mul(a, window[i]))
+	}
+	return s
+}
+
+// IsPrimitive reports whether the characteristic polynomial of r is
+// primitive over GF(q): the order of x modulo p(x) is qⁿ − 1.  (When the
+// order is qⁿ − 1 the quotient ring must be a field, so irreducibility is
+// implied and need not be tested separately.)
+func (r Recurrence) IsPrimitive() bool {
+	if len(r.A) == 0 || r.A[0] == 0 {
+		return false // x divides p(x)
+	}
+	q, n := r.F.Q, len(r.A)
+	order := uint64(1)
+	for i := 0; i < n; i++ {
+		order *= uint64(q)
+	}
+	order--
+	m := r.CharPoly()
+	if !isOne(PowXMod(r.F, order, m)) {
+		return false
+	}
+	for _, pp := range numtheory.Factor(order) {
+		if isOne(PowXMod(r.F, order/pp.P, m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrimitiveRecurrence finds the lexicographically least recurrence of order
+// n over GF(q) whose characteristic polynomial is primitive.  The search is
+// deterministic, so callers (and tests) always see the same maximal cycle
+// for given (q, n).
+func PrimitiveRecurrence(f *Field, n int) Recurrence {
+	if n < 1 {
+		panic("gf: recurrence order must be ≥ 1")
+	}
+	total := 1
+	for i := 0; i < n-1; i++ {
+		if total > 1<<30/f.Q {
+			panic(fmt.Sprintf("gf: primitive polynomial search space too large (q=%d, n=%d)", f.Q, n))
+		}
+		total *= f.Q
+	}
+	a := make([]int, n)
+	for a0 := 1; a0 < f.Q; a0++ {
+		for rest := 0; rest < total; rest++ {
+			a[0] = a0
+			v := rest
+			for i := 1; i < n; i++ {
+				a[i] = v % f.Q
+				v /= f.Q
+			}
+			r := Recurrence{F: f, A: append([]int(nil), a...)}
+			if r.IsPrimitive() {
+				return r
+			}
+		}
+	}
+	panic(fmt.Sprintf("gf: no primitive polynomial of degree %d over GF(%d) (unreachable)", n, f.Q))
+}
+
+// RecurrenceFromCharPoly builds the Recurrence whose characteristic
+// polynomial is the given monic p(x) of degree ≥ 1: a_i = −p[i].
+func RecurrenceFromCharPoly(f *Field, p Poly) Recurrence {
+	n := p.Degree()
+	if n < 1 || p[n] != 1 {
+		panic("gf: characteristic polynomial must be monic of degree ≥ 1")
+	}
+	a := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = f.Neg(p[i])
+	}
+	return Recurrence{F: f, A: a}
+}

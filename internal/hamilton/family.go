@@ -1,0 +1,220 @@
+package hamilton
+
+import (
+	"fmt"
+
+	"debruijnring/internal/gf"
+	"debruijnring/internal/lfsr"
+	"debruijnring/internal/numtheory"
+)
+
+// Family is a set of pairwise edge-disjoint Hamiltonian cycles of B(d,n),
+// each a circular digit sequence of length dⁿ (§3.1 representation).
+type Family struct {
+	D, N   int
+	Cycles [][]int
+}
+
+// DisjointHCs constructs ψ(d) pairwise edge-disjoint Hamiltonian cycles of
+// B(d,n) (Propositions 3.1 and 3.2).  n must be at least 2: for n = 1 the
+// relevant results are the compatible Eulerian circuits of [BBR93] (§3.2.4),
+// outside this construction.
+func DisjointHCs(d, n int) (*Family, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("hamilton: DisjointHCs needs n ≥ 2, got %d", n)
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("hamilton: d must be ≥ 2, got %d", d)
+	}
+	factors := numtheory.Factor(uint64(d))
+	fam, err := primePowerFamily(int(factors[0].Value()), n)
+	if err != nil {
+		return nil, err
+	}
+	soFar := int(factors[0].Value())
+	for _, pp := range factors[1:] {
+		t := int(pp.Value())
+		next, err := primePowerFamily(t, n)
+		if err != nil {
+			return nil, err
+		}
+		// Γ = {(A_i, B_j)}: all pairs are pairwise disjoint by Lemma 3.7.
+		combined := make([][]int, 0, len(fam.Cycles)*len(next.Cycles))
+		for _, a := range fam.Cycles {
+			for _, b := range next.Cycles {
+				combined = append(combined, ReesProduct(soFar, t, a, b))
+			}
+		}
+		soFar *= t
+		fam = &Family{D: soFar, N: n, Cycles: combined}
+	}
+	if len(fam.Cycles) != Psi(d) {
+		return nil, fmt.Errorf("hamilton: built %d cycles for d=%d, ψ(d)=%d", len(fam.Cycles), d, Psi(d))
+	}
+	return fam, nil
+}
+
+// primePowerFamily builds the ψ(q) disjoint HCs of B(q,n) for a prime
+// power q via Strategies 1–3 (§3.2.1).
+func primePowerFamily(q, n int) (*Family, error) {
+	m, err := lfsr.New(q, n)
+	if err != nil {
+		return nil, err
+	}
+	p := m.F.P
+	var cycles [][]int
+	if p == 2 {
+		// Strategy 1: f(x) = 0 for x ≠ 0; {H_s : s ≠ 0} are q−1 disjoint
+		// HCs because 2x = 0 in characteristic 2.
+		for s := 1; s < q; s++ {
+			cycles = append(cycles, HsCycle(m, s, 0))
+		}
+		return &Family{D: q, N: n, Cycles: cycles}, nil
+	}
+	// Odd characteristic: choose among Strategies 2 and 3 per Lemma 3.5
+	// and Proposition 3.1.
+	halfEven := (p-1)/2%2 == 0
+	lamB, aB, _, okB := conditionBWitness(p)
+	lamA, aA, okA := conditionAWitness(p)
+
+	var lambda int // primitive root, as an element of the prime subfield
+	var fOf func(x int) int
+	addH0 := false
+	f := m.F
+	switch {
+	case okB && halfEven:
+		// Strategy 2 with H_0: (q+1)/2 cycles.
+		lambda = lamB
+		la := f.Pow(f.Int(lamB), aB)
+		fOf = func(x int) int {
+			if x == 0 {
+				return f.Int(lambda)
+			}
+			return f.Mul(la, x)
+		}
+		addH0 = true
+	case okA:
+		// Strategy 3: f(x) = λ^A·x = 2x.
+		lambda = lamA
+		la := f.Pow(f.Int(lamA), aA)
+		fOf = func(x int) int {
+			if x == 0 {
+				return f.Int(lambda)
+			}
+			return f.Mul(la, x)
+		}
+	case okB:
+		// Strategy 2 without H_0 ((p−1)/2 odd).
+		lambda = lamB
+		la := f.Pow(f.Int(lamB), aB)
+		fOf = func(x int) int {
+			if x == 0 {
+				return f.Int(lambda)
+			}
+			return f.Mul(la, x)
+		}
+	default:
+		return nil, fmt.Errorf("hamilton: Lemma 3.5 violated for p = %d (unreachable)", p)
+	}
+
+	// L = ∪ᵢ {H_x : x = gᵢ·λ^{2k}, 1 ≤ k ≤ (p−1)/2}: the even λ-powers of
+	// every coset of J = ⟨λ⟩ in GF(q)*.
+	lamEl := f.Int(lambda)
+	lam2 := f.Mul(lamEl, lamEl)
+	inCoset := make([]bool, q)
+	for g := 1; g < q; g++ {
+		if inCoset[g] {
+			continue
+		}
+		// Mark the whole coset g·J and collect its even-power members.
+		x := g
+		for k := 0; k < p-1; k++ {
+			inCoset[x] = true
+			x = f.Mul(x, lamEl)
+		}
+		member := f.Mul(g, lam2)
+		for k := 1; k <= (p-1)/2; k++ {
+			cycles = append(cycles, HsCycle(m, member, fOf(member)))
+			member = f.Mul(member, lam2)
+		}
+	}
+	if addH0 {
+		cycles = append(cycles, HsCycle(m, 0, fOf(0)))
+	}
+	return &Family{D: q, N: n, Cycles: cycles}, nil
+}
+
+// HsCycle builds the Hamiltonian cycle H_s of B(q,n): the cycle s + C with
+// the missing node sⁿ spliced in by replacing the edge α̂s^{n−1} → s^{n−1}α
+// with the two edges through sⁿ, where α = s·ω + f(s)·(1−ω) so that the new
+// edge sⁿα lies on cycle f(s) + C (§3.2.1).  fs is the value f(s); it must
+// differ from s.
+func HsCycle(m *lfsr.Maximal, s, fs int) []int {
+	if fs == s {
+		panic("hamilton: HsCycle needs f(s) ≠ s")
+	}
+	f := m.F
+	alpha := f.Add(f.Mul(s, m.Omega), f.Mul(fs, f.Sub(1, m.Omega)))
+	seq := m.Shifted(s)
+	j := findRun(seq, s, alpha, m.N)
+	if j < 0 {
+		panic(fmt.Sprintf("hamilton: node s^{n-1}α not found in %d + C (s=%d, α=%d)", s, s, alpha))
+	}
+	out := make([]int, 0, len(seq)+1)
+	out = append(out, seq[:j]...)
+	out = append(out, s)
+	out = append(out, seq[j:]...)
+	return out
+}
+
+// findRun locates the start of the circular window s^{n−1}·α in seq,
+// returning −1 if absent.  The returned index j is normalized so that the
+// full run s^{n−1} beginning at j lies within the linear slice whenever
+// possible; if the window wraps, the sequence is rotated conceptually by
+// scanning circularly.
+func findRun(seq []int, s, alpha, n int) int {
+	k := len(seq)
+	for j := 0; j < k; j++ {
+		ok := true
+		for i := 0; i < n-1; i++ {
+			if seq[(j+i)%k] != s {
+				ok = false
+				break
+			}
+		}
+		if ok && seq[(j+n-1)%k] == alpha {
+			return j
+		}
+	}
+	return -1
+}
+
+// NewEdges returns the two edges (as (n+1)-digit windows) that splice sⁿ
+// into s + C for the insertion trailing digit α: α̂sⁿ and sⁿα.  Used by the
+// edge-fault construction and by tests of Lemma 3.4.
+func NewEdges(m *lfsr.Maximal, s, fs int) (e1, e2 []int) {
+	f := m.F
+	alpha := f.Add(f.Mul(s, m.Omega), f.Mul(fs, f.Sub(1, m.Omega)))
+	seq := m.Shifted(s)
+	j := findRun(seq, s, alpha, m.N)
+	if j < 0 {
+		panic("hamilton: insertion point not found")
+	}
+	k := len(seq)
+	alphaHat := seq[(j-1+k)%k]
+	e1 = make([]int, m.N+1)
+	e2 = make([]int, m.N+1)
+	e1[0] = alphaHat
+	for i := 1; i <= m.N; i++ {
+		e1[i] = s
+	}
+	for i := 0; i < m.N; i++ {
+		e2[i] = s
+	}
+	e2[m.N] = alpha
+	return e1, e2
+}
+
+// Field exposes the GF(q) arithmetic backing a maximal cycle; convenience
+// for callers composing custom families (e.g. the Example 3.3 tests).
+func Field(m *lfsr.Maximal) *gf.Field { return m.F }

@@ -1,0 +1,190 @@
+package hamilton
+
+import (
+	"fmt"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/lfsr"
+	"debruijnring/internal/numtheory"
+)
+
+// MBDecomposition constructs a Hamiltonian decomposition of the modified
+// De Bruijn graph MB(d,n) (§3.2.3): d pairwise edge-disjoint Hamiltonian
+// cycles, returned as node sequences (some of their edges are the new,
+// non-De-Bruijn edges through the nodes sⁿ).  It is defined for d an odd
+// prime power (d cycles via parallel-edge surgery on the {s + C}) and for
+// d = 2 (the two-cycle construction of the section).  The union MB(d,n)
+// has in- and out-degree d at every node, and its undirected version
+// contains UB(d,n).
+func MBDecomposition(d, n int) ([][]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("hamilton: MBDecomposition needs n ≥ 2, got %d", n)
+	}
+	if d == 2 {
+		if n < 3 {
+			return nil, fmt.Errorf("hamilton: binary MBDecomposition needs n ≥ 3")
+		}
+		return mbBinary(n)
+	}
+	p, _, ok := numtheory.PrimePowerOf(d)
+	if !ok || p == 2 {
+		return nil, fmt.Errorf("hamilton: MBDecomposition is defined for odd prime powers and d = 2, got %d", d)
+	}
+	m, err := lfsr.New(d, n)
+	if err != nil {
+		return nil, err
+	}
+	g := debruijn.New(d, n)
+	base := g.NodesOfSequence(m.Seq)
+	// The maximal cycle contains exactly d−1 parallel edges; for n = 2 a
+	// splice can coincide with a real De Bruijn edge (when β = 0), so try
+	// each candidate until the decomposition validates.
+	var lastErr error
+	for _, j := range parallelEdgePositions(g, base) {
+		cycles := make([][]int, d)
+		for s := 0; s < d; s++ {
+			nodes := g.NodesOfSequence(m.Shifted(s))
+			// The shifted parallel edge E_s sits at the same position j;
+			// splice sⁿ between its endpoints.
+			hs := make([]int, 0, len(nodes)+1)
+			hs = append(hs, nodes[:j+1]...)
+			hs = append(hs, g.Repeat(s))
+			hs = append(hs, nodes[j+1:]...)
+			cycles[s] = hs
+		}
+		if err := ValidateDecomposition(d, n, cycles); err != nil {
+			lastErr = err
+			continue
+		}
+		return cycles, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("maximal cycle contains no parallel edge")
+	}
+	return nil, fmt.Errorf("hamilton: MBDecomposition of B(%d,%d) failed: %w", d, n, lastErr)
+}
+
+// parallelEdgePositions returns every index j such that
+// (nodes[j], nodes[j+1]) is a p-edge (ᾱβ, β̄α) with α ≠ β.
+func parallelEdgePositions(g *debruijn.Graph, nodes []int) []int {
+	var out []int
+	for j := 0; j+1 < len(nodes); j++ {
+		u := nodes[j]
+		a, b := g.Digit(u, 1), g.Digit(u, 2)
+		if a != b && u == g.Alternating(a, b) && nodes[j+1] == g.Alternating(b, a) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// mbBinary builds the two disjoint Hamiltonian cycles of MB(2,n): the
+// maximal cycle C extended with 0ⁿ (between 10^{n−1} and 0^{n−1}1), and
+// 1 + C with 0ⁿ removed and the path 0ⁿ → 1ⁿ spliced into a parallel edge
+// (Example 3.6 / Figure 3.3).
+func mbBinary(n int) ([][]int, error) {
+	m, err := lfsr.New(2, n)
+	if err != nil {
+		return nil, err
+	}
+	g := debruijn.New(2, n)
+	zero, one := g.Repeat(0), g.Repeat(1)
+
+	// C′ = C with 0ⁿ inserted.  C omits 0ⁿ, so it must use the edge
+	// 10^{n−1} → 0^{n−1}1, which the insertion replaces.
+	c := g.NodesOfSequence(m.Seq)
+	pre := g.Predecessor(zero, 1) // 10^{n−1}
+	ci := indexOf(c, pre)
+	if ci < 0 {
+		return nil, fmt.Errorf("hamilton: node 10^{n-1} missing from maximal cycle (unreachable)")
+	}
+	cPrime := make([]int, 0, len(c)+1)
+	cPrime = append(cPrime, c[:ci+1]...)
+	cPrime = append(cPrime, zero)
+	cPrime = append(cPrime, c[ci+1:]...)
+
+	// 1 + C misses 1ⁿ and contains 0ⁿ; remove 0ⁿ (its cycle neighbours
+	// 10^{n−1} and 0^{n−1}1 are directly adjacent, reusing the edge C′
+	// just gave up).
+	oc := g.NodesOfSequence(m.Shifted(1))
+	zi := indexOf(oc, zero)
+	if zi < 0 {
+		return nil, fmt.Errorf("hamilton: 0ⁿ missing from 1 + C (unreachable)")
+	}
+	reduced := append(append([]int{}, oc[:zi]...), oc[zi+1:]...)
+
+	// Splice 0ⁿ → 1ⁿ into whichever of the two parallel edges
+	// (0̄1 → 1̄0) or (1̄0 → 0̄1) the reduced cycle uses (at least one of the
+	// pair lies on 1 + C since the other's shift lies on C).
+	u01, u10 := g.Alternating(0, 1), g.Alternating(1, 0)
+	k := len(reduced)
+	pos := -1
+	for i := 0; i < k; i++ {
+		a, b := reduced[i], reduced[(i+1)%k]
+		if (a == u01 && b == u10) || (a == u10 && b == u01) {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("hamilton: 1 + C contains neither parallel edge (unreachable)")
+	}
+	modified := make([]int, 0, k+2)
+	modified = append(modified, reduced[:pos+1]...)
+	modified = append(modified, zero, one)
+	modified = append(modified, reduced[pos+1:]...)
+
+	return [][]int{cPrime, modified}, nil
+}
+
+func indexOf(nodes []int, x int) int {
+	for i, v := range nodes {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// ValidateDecomposition checks the MB(d,n) claims on a set of node cycles:
+// every cycle visits all dⁿ nodes exactly once; the union has no repeated
+// directed edge (so in- and out-degrees are d everywhere); and the
+// undirected union contains every non-loop edge of UB(d,n).  It returns an
+// error describing the first violation.
+func ValidateDecomposition(d, n int, cycles [][]int) error {
+	g := debruijn.New(d, n)
+	if len(cycles) != d {
+		return fmt.Errorf("decomposition has %d cycles, want d = %d", len(cycles), d)
+	}
+	edges := make(map[[2]int]bool)
+	for ci, cyc := range cycles {
+		if len(cyc) != g.Size {
+			return fmt.Errorf("cycle %d has %d nodes, want %d", ci, len(cyc), g.Size)
+		}
+		seen := make(map[int]bool, len(cyc))
+		for i, x := range cyc {
+			if seen[x] {
+				return fmt.Errorf("cycle %d repeats node %s", ci, g.String(x))
+			}
+			seen[x] = true
+			e := [2]int{x, cyc[(i+1)%len(cyc)]}
+			if edges[e] {
+				return fmt.Errorf("directed edge %s→%s used twice", g.String(e[0]), g.String(e[1]))
+			}
+			edges[e] = true
+		}
+	}
+	var buf []int
+	for x := 0; x < g.Size; x++ {
+		buf = g.Successors(x, buf)
+		for _, y := range buf {
+			if y == x {
+				continue
+			}
+			if !edges[[2]int{x, y}] && !edges[[2]int{y, x}] {
+				return fmt.Errorf("UB edge {%s,%s} missing from UMB", g.String(x), g.String(y))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package hamilton
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/lfsr"
+)
+
+// Property (Lemma 3.4): for random prime-power d and x ≠ y with
+// y ∉ {f(x), 2x−f(x)} and x ∉ {f(y), 2y−f(y)}, the cycles H_x and H_y are
+// edge-disjoint; when the membership holds they share an edge.
+func TestPropertyLemma34(t *testing.T) {
+	for _, q := range []int{5, 7, 9} {
+		m, err := lfsr.New(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := m.F
+		g := debruijn.New(q, 2)
+		check := func(xr, yr, cr uint8) bool {
+			x := 1 + int(xr)%(q-1)
+			y := 1 + int(yr)%(q-1)
+			if x == y {
+				return true
+			}
+			// A fixed-point-free f: multiply by a constant c ∉ {0, 1}.
+			c := 2 + int(cr)%(q-2)
+			if f.Mul(c, x) == x || f.Mul(c, y) == y {
+				return true
+			}
+			fx, fy := f.Mul(c, x), f.Mul(c, y)
+			hx := g.NodesOfSequence(HsCycle(m, x, fx))
+			hy := g.NodesOfSequence(HsCycle(m, y, fy))
+			shared := !g.EdgeDisjoint(hx, hy)
+			two := f.Two()
+			predict := y == fx || y == f.Sub(f.Mul(two, x), fx) ||
+				x == fy || x == f.Sub(f.Mul(two, y), fy)
+			return shared == predict
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+// Property: every H_s is Hamiltonian for every admissible (s, f(s)) pair.
+func TestPropertyHsAlwaysHamiltonian(t *testing.T) {
+	for _, tc := range []struct{ q, n int }{{4, 2}, {5, 2}, {3, 3}, {8, 2}} {
+		m, err := lfsr.New(tc.q, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := debruijn.New(tc.q, tc.n)
+		for s := 0; s < tc.q; s++ {
+			for fs := 0; fs < tc.q; fs++ {
+				if fs == s {
+					continue
+				}
+				nodes := g.NodesOfSequence(HsCycle(m, s, fs))
+				if !g.IsHamiltonian(nodes) {
+					t.Fatalf("B(%d,%d): H_%d with f(s)=%d not Hamiltonian", tc.q, tc.n, s, fs)
+				}
+			}
+		}
+	}
+}
+
+// Property: the Rees product of random rotations of Hamiltonian cycles is
+// Hamiltonian (Lemma 3.6 does not depend on the phase).
+func TestPropertyReesRotations(t *testing.T) {
+	famA, err := DisjointHCs(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	famB, err := DisjointHCs(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, b0 := famA.Cycles[0], famB.Cycles[0]
+	g := debruijn.New(6, 2)
+	check := func(ra, rb uint16) bool {
+		a := rotate(a0, int(ra)%len(a0))
+		b := rotate(b0, int(rb)%len(b0))
+		return g.IsHamiltonian(g.NodesOfSequence(ReesProduct(2, 3, a, b)))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func rotate(seq []int, k int) []int {
+	out := make([]int, len(seq))
+	copy(out, seq[k:])
+	copy(out[len(seq)-k:], seq[:k])
+	return out
+}
+
+// Property: FaultFreeHC never returns a cycle through a fault, for fault
+// sets within tolerance across a sweep of arities.
+func TestPropertyFaultFreeHCSafety(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 88))
+	for _, d := range []int{3, 4, 5, 6, 7, 9, 10} {
+		n := 2
+		tol := MaxEdgeFaults(d)
+		for trial := 0; trial < 8; trial++ {
+			f := rng.IntN(tol + 1)
+			var faults [][]int
+			for len(faults) < f {
+				w := []int{rng.IntN(d), rng.IntN(d), rng.IntN(d)}
+				if isConstant(w) {
+					continue
+				}
+				faults = append(faults, w)
+			}
+			cycle, err := FaultFreeHC(d, n, faults)
+			if err != nil {
+				t.Fatalf("d=%d f=%d: %v", d, f, err)
+			}
+			if cycleHitsAny(cycle, n, faults) {
+				t.Fatalf("d=%d: cycle hits fault", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package hamilton implements Chapter 3 of Rowley–Bose: edge-disjoint
+// Hamiltonian cycles in B(d,n), ring embedding under edge failures, and
+// Hamiltonian decompositions of the modified De Bruijn graph MB(d,n).
+//
+// The constructions build on the maximal cycles of internal/lfsr: for a
+// prime power d the d shifted cycles {s + C} partition the non-loop edges
+// of B(d,n); each is made Hamiltonian by inserting the missing node sⁿ
+// (cycle H_s), and a careful choice of insertion points — Strategies 1–3,
+// driven by the arithmetic of Lemma 3.5 — makes ψ(d) of the H_s pairwise
+// edge-disjoint.  Composite d is handled by the Rees product composition
+// (Lemmas 3.6–3.7).
+package hamilton
+
+import (
+	"fmt"
+
+	"debruijnring/internal/numtheory"
+)
+
+// Psi returns ψ(d), the guaranteed number of pairwise edge-disjoint
+// Hamiltonian cycles in B(d,n) (Propositions 3.1 and 3.2, Table 3.1):
+//
+//   - ψ(2^e) = 2^e − 1,
+//   - ψ(p^e) = (p^e + 1)/2 for odd p when (p−1)/2 is even and p satisfies
+//     condition (b) of Lemma 3.5,
+//   - ψ(p^e) = (p^e − 1)/2 for odd p otherwise,
+//   - ψ multiplicative over the prime-power factorization.
+func Psi(d int) int {
+	if d < 2 {
+		panic(fmt.Sprintf("hamilton: Psi undefined for d = %d", d))
+	}
+	out := 1
+	for _, pp := range numtheory.Factor(uint64(d)) {
+		out *= psiPrimePower(int(pp.P), int(pp.Value()))
+	}
+	return out
+}
+
+func psiPrimePower(p, q int) int {
+	if p == 2 {
+		return q - 1
+	}
+	if (p-1)/2%2 == 0 && satisfiesConditionB(p) {
+		return (q + 1) / 2
+	}
+	return (q - 1) / 2
+}
+
+// satisfiesConditionB reports whether some primitive root λ of Z_p admits
+// odd A, B with 2 ≡ λ^A + λ^B (mod p) — condition (b) of Lemma 3.5.  It
+// holds whenever p ≡ ±1 (mod 8) and for some p ≡ ±3 (mod 8) as well
+// (e.g. p = 13, where 2 ≡ 7 + 7⁹).
+func satisfiesConditionB(p int) bool {
+	_, _, _, ok := conditionBWitness(p)
+	return ok
+}
+
+// conditionBWitness searches all primitive roots of Z_p for odd exponents
+// A, B with λ^A + λ^B ≡ 2.
+func conditionBWitness(p int) (lambda, a, b int, ok bool) {
+	for _, l := range numtheory.PrimitiveRoots(p) {
+		// Powers λ^k for odd k.
+		type pw struct{ val, exp int }
+		var odd []pw
+		x := 1
+		for k := 1; k < p-1; k++ {
+			x = x * l % p
+			if k%2 == 1 {
+				odd = append(odd, pw{val: x, exp: k})
+			}
+		}
+		for i := 0; i < len(odd); i++ {
+			for j := i; j < len(odd); j++ {
+				if (odd[i].val+odd[j].val)%p == 2 {
+					return l, odd[i].exp, odd[j].exp, true
+				}
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// conditionAWitness searches all primitive roots of Z_p for an odd A with
+// λ^A ≡ 2 — condition (a) of Lemma 3.5, equivalent to 2 being a quadratic
+// nonresidue of p (p ≡ ±3 mod 8).
+func conditionAWitness(p int) (lambda, a int, ok bool) {
+	for _, l := range numtheory.PrimitiveRoots(p) {
+		x := 1
+		for k := 1; k < p-1; k++ {
+			x = x * l % p
+			if x == 2 {
+				if k%2 == 1 {
+					return l, k, true
+				}
+				break // dlog is unique; even here means even for this λ
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// EdgeFaultPhi returns φ(d) = p₁^e₁ + … + p_k^e_k − 2k for the prime
+// factorization of d: the number of edge faults under which Proposition 3.3
+// still guarantees a fault-free Hamiltonian cycle.
+func EdgeFaultPhi(d int) int {
+	if d < 2 {
+		panic(fmt.Sprintf("hamilton: EdgeFaultPhi undefined for d = %d", d))
+	}
+	sum := 0
+	for _, pp := range numtheory.Factor(uint64(d)) {
+		sum += int(pp.Value()) - 2
+	}
+	return sum
+}
+
+// MaxEdgeFaults returns MAX{ψ(d)−1, φ(d)}, the edge-fault tolerance of
+// Proposition 3.4 (Table 3.2).
+func MaxEdgeFaults(d int) int {
+	return max(Psi(d)-1, EdgeFaultPhi(d))
+}

@@ -1,0 +1,27 @@
+package hamilton
+
+import (
+	"fmt"
+
+	"debruijnring/internal/numtheory"
+)
+
+// ReesProduct composes Hamiltonian cycles of B(s,n) and B(t,n), for
+// coprime s and t, into a Hamiltonian cycle of B(st,n) (Lemma 3.6, after
+// Rees [Ree46]): the i'th digit is a_{i mod sⁿ}·t + b_{i mod tⁿ}, i ranging
+// over (st)ⁿ = lcm(sⁿ, tⁿ).
+func ReesProduct(s, t int, a, b []int) []int {
+	if numtheory.GCD(s, t) != 1 {
+		panic(fmt.Sprintf("hamilton: Rees product needs coprime factors, got %d, %d", s, t))
+	}
+	la, lb := len(a), len(b)
+	out := make([]int, la/1*lb) // (st)ⁿ = sⁿ·tⁿ when gcd(s,t)=1
+	for i := range out {
+		out[i] = a[i%la]*t + b[i%lb]
+	}
+	return out
+}
+
+// SplitDigit inverts the Rees digit composition: v = a·t + b with a ∈ Z_s
+// and b ∈ Z_t.
+func SplitDigit(v, t int) (a, b int) { return v / t, v % t }

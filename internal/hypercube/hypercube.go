@@ -1,0 +1,307 @@
+// Package hypercube implements the comparison baseline cited in Chapter 2
+// of Rowley–Bose: fault-tolerant ring embedding in the binary n-cube.  The
+// cited results [WC92, CL91a] show that Q_n with f ≤ n−2 faulty nodes
+// contains a fault-free cycle of length at least 2ⁿ − 2f; this package
+// provides a constructive divide-and-conquer embedding achieving that
+// bound (with exhaustive-search base cases), so the De Bruijn/hypercube
+// comparison in §2 can be measured rather than quoted.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NumNodes returns 2ⁿ.
+func NumNodes(n int) int { return 1 << n }
+
+// NumEdges returns n·2ⁿ⁻¹ (e.g. 24576 for n = 12, the figure quoted in
+// §2 against B(4,6)'s 16384).
+func NumEdges(n int) int { return n << (n - 1) }
+
+// IsEdge reports whether x and y differ in exactly one bit.
+func IsEdge(x, y int) bool { return bits.OnesCount(uint(x^y)) == 1 }
+
+// GrayCycle returns the reflected-Gray-code Hamiltonian cycle of Q_n:
+// g(i) = i XOR (i >> 1).
+func GrayCycle(n int) []int {
+	out := make([]int, 1<<n)
+	for i := range out {
+		out[i] = i ^ (i >> 1)
+	}
+	return out
+}
+
+// GrayCycleThroughEdge returns a Hamiltonian cycle of Q_n containing the
+// edge (u, v), obtained from the Gray cycle (which contains the edge
+// (0, 1)) by the automorphism x ↦ σ(x) XOR u with σ swapping bit 0 and the
+// dimension of (u, v).
+func GrayCycleThroughEdge(n, u, v int) []int {
+	if !IsEdge(u, v) {
+		panic(fmt.Sprintf("hypercube: (%d,%d) is not an edge", u, v))
+	}
+	j := bits.TrailingZeros(uint(u ^ v))
+	out := GrayCycle(n)
+	for i, g := range out {
+		out[i] = swapBits(g, 0, j) ^ u
+	}
+	return out
+}
+
+func swapBits(x, i, j int) int {
+	if i == j {
+		return x
+	}
+	bi, bj := (x>>i)&1, (x>>j)&1
+	if bi == bj {
+		return x
+	}
+	return x ^ (1 << i) ^ (1 << j)
+}
+
+// IsCycle reports whether seq is a cycle of Q_n avoiding faults.
+func IsCycle(n int, seq []int, faults map[int]bool) bool {
+	// Q_n is bipartite and simple: its shortest cycles have length 4.
+	if len(seq) < 4 {
+		return false
+	}
+	seen := make(map[int]bool, len(seq))
+	for i, x := range seq {
+		if x < 0 || x >= 1<<n || seen[x] || faults[x] {
+			return false
+		}
+		seen[x] = true
+		if !IsEdge(x, seq[(i+1)%len(seq)]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FaultFreeCycle constructs a cycle of Q_n avoiding the faulty nodes, of
+// length at least 2ⁿ − 2f for f ≤ n−2 (the [WC92, CL91a] guarantee).  It
+// returns an error when f > n−2 and no embedding is found, or when the
+// cube degenerates (n < 2).
+func FaultFreeCycle(n int, faults []int) ([]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("hypercube: need n ≥ 2")
+	}
+	fs := make(map[int]bool, len(faults))
+	for _, x := range faults {
+		if x < 0 || x >= 1<<n {
+			return nil, fmt.Errorf("hypercube: fault %d out of range", x)
+		}
+		fs[x] = true
+	}
+	if len(fs) > n-2 {
+		return nil, fmt.Errorf("hypercube: %d faults exceed the n−2 = %d guarantee", len(fs), n-2)
+	}
+	// Pick a fault-free prescribed edge.
+	eu, ev := -1, -1
+pick:
+	for u := 0; u < 1<<n; u++ {
+		if fs[u] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !fs[u^(1<<j)] {
+				eu, ev = u, u^(1<<j)
+				break pick
+			}
+		}
+	}
+	if eu < 0 {
+		return nil, fmt.Errorf("hypercube: no fault-free edge exists")
+	}
+	c := cycleThrough(n, fs, eu, ev)
+	if c == nil {
+		return nil, fmt.Errorf("hypercube: embedding failed (internal)")
+	}
+	if len(c) < 1<<n-2*len(fs) {
+		return nil, fmt.Errorf("hypercube: embedded cycle of length %d misses the 2ⁿ−2f = %d bound",
+			len(c), 1<<n-2*len(fs))
+	}
+	return c, nil
+}
+
+// cycleThrough returns a fault-free cycle through the edge (eu, ev) of
+// length ≥ 2ⁿ − 2f, or nil.  Recursive divide and conquer: split along a
+// dimension separating the faults (possible whenever it matters), embed a
+// cycle through the prescribed edge in its half, and merge with a cycle
+// through a transferred edge in the other half.
+func cycleThrough(n int, faults map[int]bool, eu, ev int) []int {
+	f := len(faults)
+	target := 1<<n - 2*f
+	if n <= 4 {
+		return searchCycleThrough(n, faults, eu, ev, target)
+	}
+	if f == 0 {
+		return GrayCycleThroughEdge(n, eu, ev)
+	}
+	j := bits.TrailingZeros(uint(eu ^ ev))
+	i := chooseSplit(n, faults, j)
+	side := (eu >> i) & 1
+
+	var fA, fB map[int]bool
+	fA = make(map[int]bool)
+	fB = make(map[int]bool)
+	for x := range faults {
+		if (x>>i)&1 == side {
+			fA[drop(x, i)] = true
+		} else {
+			fB[drop(x, i)] = true
+		}
+	}
+	if len(fA) > n-3 || len(fB) > n-3 {
+		// The split failed to spread the faults far enough; fall back to
+		// exhaustive search on small cubes (cannot occur for n ≥ 5 by the
+		// choice of i — see chooseSplit — but keep the guard).
+		if n <= 5 {
+			return searchCycleThrough(n, faults, eu, ev, target)
+		}
+		return nil
+	}
+
+	c1 := cycleThrough(n-1, fA, drop(eu, i), drop(ev, i))
+	if c1 == nil {
+		return nil
+	}
+	// Try merge edges (a, b) of C1 whose partners across dimension i are
+	// fault-free; transfer the prescribed edge into the B half.
+	k := len(c1)
+	for p := 0; p < k; p++ {
+		a, b := c1[p], c1[(p+1)%k]
+		au, bu := insert(a, i, side), insert(b, i, side) // full-cube labels
+		if (au == eu && bu == ev) || (au == ev && bu == eu) {
+			continue // never remove the prescribed edge
+		}
+		aOp, bOp := au^(1<<i), bu^(1<<i)
+		if faults[aOp] || faults[bOp] {
+			continue
+		}
+		c2 := cycleThrough(n-1, fB, drop(aOp, i), drop(bOp, i))
+		if c2 == nil {
+			continue
+		}
+		return splice(c1, c2, p, i, side)
+	}
+	return nil
+}
+
+// chooseSplit picks a dimension ≠ j along which the faults differ if any
+// such dimension exists (guaranteeing both halves get strictly fewer
+// faults); otherwise any dimension ≠ j.
+func chooseSplit(n int, faults map[int]bool, j int) int {
+	var list []int
+	for x := range faults {
+		list = append(list, x)
+	}
+	for i := 0; i < n; i++ {
+		if i == j {
+			continue
+		}
+		ones := 0
+		for _, x := range list {
+			ones += (x >> i) & 1
+		}
+		if ones > 0 && ones < len(list) {
+			return i
+		}
+	}
+	if j == 0 {
+		return 1
+	}
+	return 0
+}
+
+// drop removes bit i from x (projecting into the subcube).
+func drop(x, i int) int {
+	low := x & (1<<i - 1)
+	return (x>>(i+1))<<i | low
+}
+
+// insert re-inserts bit value side at position i.
+func insert(x, i, side int) int {
+	low := x & (1<<i - 1)
+	return (x>>i)<<(i+1) | side<<i | low
+}
+
+// splice joins C1 (in the side half, projected coordinates) and C2 (in the
+// opposite half, projected) by replacing the C1 edge at position p and the
+// corresponding C2 edge with the two cross-dimension-i edges.
+func splice(c1, c2 []int, p, i, side int) []int {
+	k1, k2 := len(c1), len(c2)
+	out := make([]int, 0, k1+k2)
+	// P1: walk C1 from position p+1 around to p (endpoints b … a).
+	for t := 0; t < k1; t++ {
+		out = append(out, insert(c1[(p+1+t)%k1], i, side))
+	}
+	// out ends at a; continue from a's partner a′ through C2 to b′.
+	last := out[len(out)-1] ^ (1 << i)
+	lastProj := drop(last, i)
+	q := -1
+	for idx, v := range c2 {
+		if v == lastProj {
+			q = idx
+			break
+		}
+	}
+	if q < 0 {
+		panic("hypercube: splice partner missing from C2 (unreachable)")
+	}
+	first := drop(out[0]^(1<<i), i) // b′, where C2 must end
+	opp := side ^ 1
+	if c2[(q+1)%k2] == first {
+		// a′ is immediately followed by b′: traverse C2 backwards.
+		for t := 0; t < k2; t++ {
+			out = append(out, insert(c2[(q-t+k2)%k2], i, opp))
+		}
+	} else if c2[(q-1+k2)%k2] == first {
+		for t := 0; t < k2; t++ {
+			out = append(out, insert(c2[(q+t)%k2], i, opp))
+		}
+	} else {
+		panic("hypercube: transferred edge not adjacent in C2 (unreachable)")
+	}
+	return out
+}
+
+// searchCycleThrough finds, by exhaustive DFS, a longest fault-free cycle
+// through the edge (eu, ev), stopping early once the target length is
+// reached.  Intended for n ≤ 5.
+func searchCycleThrough(n int, faults map[int]bool, eu, ev, target int) []int {
+	size := 1 << n
+	onPath := make([]bool, size)
+	var best []int
+	path := []int{eu, ev}
+	onPath[eu], onPath[ev] = true, true
+
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if len(path) >= 4 && IsEdge(v, eu) && len(path) > len(best) {
+			best = append(best[:0], path...)
+			if len(best) >= target {
+				return true
+			}
+		}
+		for j := 0; j < n; j++ {
+			w := v ^ (1 << j)
+			if onPath[w] || faults[w] {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+		return false
+	}
+	dfs(ev)
+	if len(best) == 0 {
+		return nil
+	}
+	return append([]int(nil), best...)
+}

@@ -1,0 +1,205 @@
+package hypercube
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestCounts(t *testing.T) {
+	if NumNodes(12) != 4096 {
+		t.Errorf("Q_12 has %d nodes", NumNodes(12))
+	}
+	// §2: "the hypercube has 50%% more edges (24,576) than the De Bruijn
+	// graph (16,384)".
+	if NumEdges(12) != 24576 {
+		t.Errorf("Q_12 has %d edges, want 24576", NumEdges(12))
+	}
+}
+
+func TestGrayCycle(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		c := GrayCycle(n)
+		if len(c) != 1<<n {
+			t.Fatalf("Gray cycle of Q_%d has %d nodes", n, len(c))
+		}
+		if !IsCycle(n, c, nil) {
+			t.Fatalf("Gray cycle of Q_%d invalid", n)
+		}
+	}
+}
+
+func TestGrayCycleThroughEdge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for n := 2; n <= 8; n++ {
+		for trial := 0; trial < 20; trial++ {
+			u := rng.IntN(1 << n)
+			v := u ^ (1 << rng.IntN(n))
+			c := GrayCycleThroughEdge(n, u, v)
+			if !IsCycle(n, c, nil) || len(c) != 1<<n {
+				t.Fatalf("Q_%d: invalid HC through (%d,%d)", n, u, v)
+			}
+			found := false
+			for i, x := range c {
+				y := c[(i+1)%len(c)]
+				if (x == u && y == v) || (x == v && y == u) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Q_%d: HC misses prescribed edge (%d,%d)", n, u, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-edge should panic")
+		}
+	}()
+	GrayCycleThroughEdge(3, 0, 3)
+}
+
+func TestDropInsert(t *testing.T) {
+	for x := 0; x < 64; x++ {
+		for i := 0; i < 6; i++ {
+			side := (x >> i) & 1
+			if insert(drop(x, i), i, side) != x {
+				t.Fatalf("insert(drop(%d,%d)) mismatch", x, i)
+			}
+		}
+	}
+}
+
+// TestFaultFreeCycleExhaustiveSmall: every single fault in Q_3 leaves a
+// 6-cycle; every fault pair in Q_4 leaves a 12-cycle.
+func TestFaultFreeCycleExhaustiveSmall(t *testing.T) {
+	for v := 0; v < 8; v++ {
+		c, err := FaultFreeCycle(3, []int{v})
+		if err != nil {
+			t.Fatalf("Q_3 fault %d: %v", v, err)
+		}
+		if len(c) < 6 || !IsCycle(3, c, map[int]bool{v: true}) {
+			t.Fatalf("Q_3 fault %d: cycle %v", v, c)
+		}
+	}
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			faults := []int{a, b}
+			c, err := FaultFreeCycle(4, faults)
+			if err != nil {
+				t.Fatalf("Q_4 faults %v: %v", faults, err)
+			}
+			if len(c) < 12 || !IsCycle(4, c, map[int]bool{a: true, b: true}) {
+				t.Fatalf("Q_4 faults %v: bad cycle (len %d)", faults, len(c))
+			}
+		}
+	}
+}
+
+// TestFaultFreeCycleGuarantee: random fault sets with f ≤ n−2 always give
+// length ≥ 2ⁿ − 2f, for n up to 10.
+func TestFaultFreeCycleGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for n := 5; n <= 10; n++ {
+		for trial := 0; trial < 30; trial++ {
+			f := rng.IntN(n - 1) // 0..n−2
+			fm := make(map[int]bool)
+			for len(fm) < f {
+				fm[rng.IntN(1<<n)] = true
+			}
+			faults := make([]int, 0, f)
+			for x := range fm {
+				faults = append(faults, x)
+			}
+			c, err := FaultFreeCycle(n, faults)
+			if err != nil {
+				t.Fatalf("Q_%d faults %v: %v", n, faults, err)
+			}
+			if len(c) < 1<<n-2*f {
+				t.Fatalf("Q_%d with %d faults: cycle %d < %d", n, f, len(c), 1<<n-2*f)
+			}
+			if !IsCycle(n, c, fm) {
+				t.Fatalf("Q_%d: invalid cycle", n)
+			}
+		}
+	}
+}
+
+// TestAdversarialFaults places faults in dense clusters (all in one
+// subcube, neighbours of a single node, antipodal pairs).
+func TestAdversarialFaults(t *testing.T) {
+	cases := []struct {
+		n      int
+		faults []int
+	}{
+		{6, []int{1, 2, 4, 8}},         // all neighbours of 0
+		{6, []int{0, 3, 5, 6}},         // even-weight cluster
+		{7, []int{0, 1, 2, 3, 4}},      // low corner cluster
+		{7, []int{0, 127, 1, 126, 64}}, // antipodal pairs
+		{8, []int{0, 1, 2, 3, 4, 5}},   // n−2 faults in one subcube
+	}
+	for _, tc := range cases {
+		fm := make(map[int]bool)
+		for _, x := range tc.faults {
+			fm[x] = true
+		}
+		c, err := FaultFreeCycle(tc.n, tc.faults)
+		if err != nil {
+			t.Fatalf("Q_%d faults %v: %v", tc.n, tc.faults, err)
+		}
+		want := 1<<tc.n - 2*len(tc.faults)
+		if len(c) < want {
+			t.Errorf("Q_%d faults %v: %d < %d", tc.n, tc.faults, len(c), want)
+		}
+		if !IsCycle(tc.n, c, fm) {
+			t.Errorf("Q_%d faults %v: invalid cycle", tc.n, tc.faults)
+		}
+	}
+}
+
+// TestPaperComparison reproduces the Chapter 2 figure: the 4096-node
+// hypercube Q_12 with 2 faults yields a fault-free cycle of length 4092 =
+// 2ⁿ − 2f.
+func TestPaperComparison(t *testing.T) {
+	c, err := FaultFreeCycle(12, []int{100, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) < 4092 {
+		t.Errorf("Q_12 with 2 faults: cycle %d, want ≥ 4092", len(c))
+	}
+	if !IsCycle(12, c, map[int]bool{100: true, 2000: true}) {
+		t.Error("invalid cycle")
+	}
+}
+
+func TestFaultFreeCycleErrors(t *testing.T) {
+	if _, err := FaultFreeCycle(1, nil); err == nil {
+		t.Error("n = 1 should fail")
+	}
+	if _, err := FaultFreeCycle(4, []int{1, 2, 3}); err == nil {
+		t.Error("f > n−2 should fail")
+	}
+	if _, err := FaultFreeCycle(4, []int{99}); err == nil {
+		t.Error("out-of-range fault should fail")
+	}
+}
+
+func TestIsEdge(t *testing.T) {
+	if !IsEdge(5, 4) || IsEdge(5, 6) || IsEdge(3, 3) {
+		t.Error("IsEdge misclassifies")
+	}
+	if bits.OnesCount(uint(5^4)) != 1 {
+		t.Error("sanity")
+	}
+}
+
+func BenchmarkFaultFreeCycleQ12(b *testing.B) {
+	faults := []int{100, 2000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FaultFreeCycle(12, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package kautz
+
+import "testing"
+
+func TestStructure(t *testing.T) {
+	for _, tc := range []struct{ d, n, size int }{
+		{2, 2, 6}, {2, 3, 12}, {2, 4, 24}, {3, 2, 12}, {3, 3, 36}, {4, 2, 20},
+	} {
+		g := New(tc.d, tc.n)
+		if g.Size != tc.size {
+			t.Errorf("K(%d,%d) has %d nodes, want (d+1)dⁿ⁻¹ = %d", tc.d, tc.n, g.Size, tc.size)
+		}
+		var buf []int
+		for v := 0; v < g.Size; v++ {
+			buf = g.Successors(v, buf)
+			if len(buf) != tc.d {
+				t.Fatalf("K(%d,%d): out-degree %d at %s", tc.d, tc.n, len(buf), g.String(v))
+			}
+			for _, w := range buf {
+				if w == v {
+					t.Fatalf("K(%d,%d): loop at %s (impossible)", tc.d, tc.n, g.String(v))
+				}
+				if !g.IsEdge(v, w) {
+					t.Fatalf("K(%d,%d): successor not an edge", tc.d, tc.n)
+				}
+			}
+		}
+		// In-degree is d as well.
+		indeg := make([]int, g.Size)
+		for v := 0; v < g.Size; v++ {
+			buf = g.Successors(v, buf)
+			for _, w := range buf {
+				indeg[w]++
+			}
+		}
+		for v, k := range indeg {
+			if k != tc.d {
+				t.Fatalf("K(%d,%d): in-degree %d at %s", tc.d, tc.n, k, g.String(v))
+			}
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	g := New(2, 3)
+	for v := 0; v < g.Size; v++ {
+		s := g.String(v)
+		back, err := g.Parse(s)
+		if err != nil || back != v {
+			t.Fatalf("Parse(String(%d)) = %d, %v", v, back, err)
+		}
+	}
+	// Words with repeated consecutive letters are rejected.
+	if _, err := g.Parse("001"); err == nil {
+		t.Error("001 is not a Kautz word")
+	}
+	if _, err := g.Parse("03"); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if _, err := g.Parse("091"); err == nil {
+		t.Error("letter out of alphabet should fail")
+	}
+}
+
+func TestLineGraphProperty(t *testing.T) {
+	// K(d,n) is the line graph of K(d,n−1): edge counts match node counts
+	// one level up, and edges of K(d,n−1) biject with nodes of K(d,n).
+	for _, tc := range []struct{ d, n int }{{2, 3}, {3, 3}, {2, 4}} {
+		small := New(tc.d, tc.n-1)
+		big := New(tc.d, tc.n)
+		if small.Size*tc.d != big.Size {
+			t.Errorf("K(%d,%d) edges %d ≠ K(%d,%d) nodes %d",
+				tc.d, tc.n-1, small.Size*tc.d, tc.d, tc.n, big.Size)
+		}
+	}
+}
+
+func TestHamiltonian(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}} {
+		g := New(tc.d, tc.n)
+		hc := g.FindHamiltonian(nil)
+		if hc == nil {
+			t.Fatalf("K(%d,%d) should be Hamiltonian", tc.d, tc.n)
+		}
+		if !g.IsHamiltonian(hc) {
+			t.Fatalf("K(%d,%d): invalid HC", tc.d, tc.n)
+		}
+	}
+}
+
+// TestDisjointHCsExact answers the Chapter 5 Kautz question definitively
+// on tiny instances: the exact maximum number of pairwise edge-disjoint
+// Hamiltonian cycles.
+func TestDisjointHCsExact(t *testing.T) {
+	cases := []struct {
+		d, n, exact int
+	}{
+		// K(2,2) ≅ L(K₃*): an HC corresponds to an Eulerian circuit of the
+		// loopless K₃, and the complementary transition system always
+		// splits — so the maximum is 1, strictly below the degree bound.
+		{2, 2, 1},
+		{2, 3, 1},
+		// K(3,2) packs a full Hamiltonian decomposition (3 = d cycles).
+		{3, 2, 3},
+	}
+	for _, tc := range cases {
+		g := New(tc.d, tc.n)
+		fam := g.MaxDisjointHCsExact()
+		if len(fam) != tc.exact {
+			t.Errorf("K(%d,%d): exact maximum %d disjoint HCs, want %d",
+				tc.d, tc.n, len(fam), tc.exact)
+		}
+		seen := map[[2]int]bool{}
+		for _, hc := range fam {
+			if !g.IsHamiltonian(hc) {
+				t.Fatalf("K(%d,%d): invalid HC in family", tc.d, tc.n)
+			}
+			for i, x := range hc {
+				e := [2]int{x, hc[(i+1)%len(hc)]}
+				if seen[e] {
+					t.Fatalf("K(%d,%d): family shares edge", tc.d, tc.n)
+				}
+				seen[e] = true
+			}
+		}
+	}
+}
+
+// TestDisjointHCsGreedy: the cheap greedy packer respects the degree bound
+// and produces verified families on larger instances.
+func TestDisjointHCsGreedy(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{3, 2}, {2, 4}, {4, 2}} {
+		g := New(tc.d, tc.n)
+		fam := g.MaxDisjointHCs()
+		if len(fam) < 1 || len(fam) > tc.d {
+			t.Errorf("K(%d,%d): greedy family size %d outside [1,%d]", tc.d, tc.n, len(fam), tc.d)
+		}
+		seen := map[[2]int]bool{}
+		for _, hc := range fam {
+			if !g.IsHamiltonian(hc) {
+				t.Fatalf("K(%d,%d): invalid HC", tc.d, tc.n)
+			}
+			for i, x := range hc {
+				e := [2]int{x, hc[(i+1)%len(hc)]}
+				if seen[e] {
+					t.Fatalf("K(%d,%d): shared edge", tc.d, tc.n)
+				}
+				seen[e] = true
+			}
+		}
+		t.Logf("K(%d,%d): greedy packs %d disjoint HCs (degree bound %d)", tc.d, tc.n, len(fam), tc.d)
+	}
+}
+
+func TestIsCycleRejects(t *testing.T) {
+	g := New(2, 2)
+	if g.IsCycle([]int{0}) {
+		t.Error("no 1-cycles in a loopless digraph")
+	}
+	if g.IsCycle([]int{0, 0}) {
+		t.Error("repeated nodes are not a cycle")
+	}
+}
+
+func BenchmarkKautzHamiltonian(b *testing.B) {
+	g := New(3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.FindHamiltonian(nil) == nil {
+			b.Fatal("no HC")
+		}
+	}
+}

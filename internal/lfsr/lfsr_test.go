@@ -1,0 +1,172 @@
+package lfsr
+
+import (
+	"testing"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/gf"
+)
+
+func TestExample31(t *testing.T) {
+	// Example 3.1: p(x) = x² − x − 3 over GF(5), s_{2+i} = s_{1+i} + 3sᵢ,
+	// s₀ = 0, s₁ = 1 gives the maximal cycle
+	// [0,1,1,4,2,4,0,2,2,3,4,3,0,4,4,1,3,1,0,3,3,2,1,2] in B(5,2).
+	f := gf.MustField(5)
+	rec := gf.Recurrence{F: f, A: []int{3, 1}}
+	m, err := FromRecurrence(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 4, 2, 4, 0, 2, 2, 3, 4, 3, 0, 4, 4, 1, 3, 1, 0, 3, 3, 2, 1, 2}
+	if len(m.Seq) != len(want) {
+		t.Fatalf("sequence length %d, want %d", len(m.Seq), len(want))
+	}
+	for i := range want {
+		if m.Seq[i] != want[i] {
+			t.Fatalf("Seq[%d] = %d, want %d (full: %v)", i, m.Seq[i], want[i], m.Seq)
+		}
+	}
+	g := debruijn.New(5, 2)
+	if !g.IsCycleSequence(m.Seq) {
+		t.Error("Example 3.1 sequence should denote a cycle")
+	}
+}
+
+func TestMaximalCycleProperties(t *testing.T) {
+	for _, tc := range []struct{ q, n int }{{2, 3}, {2, 6}, {3, 3}, {4, 2}, {5, 2}, {7, 2}, {8, 2}, {9, 2}, {13, 2}} {
+		m, err := New(tc.q, tc.n)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", tc.q, tc.n, err)
+		}
+		g := debruijn.New(tc.q, tc.n)
+		if len(m.Seq) != g.Size-1 {
+			t.Errorf("B(%d,%d): maximal cycle length %d, want %d", tc.q, tc.n, len(m.Seq), g.Size-1)
+		}
+		nodes := g.NodesOfSequence(m.Seq)
+		if !g.IsCycle(nodes) {
+			t.Fatalf("B(%d,%d): maximal sequence is not a cycle", tc.q, tc.n)
+		}
+		// Every node except 0ⁿ appears exactly once.
+		seen := make(map[int]bool, len(nodes))
+		for _, x := range nodes {
+			seen[x] = true
+		}
+		if seen[0] {
+			t.Errorf("B(%d,%d): maximal cycle must omit 0ⁿ", tc.q, tc.n)
+		}
+		if len(seen) != g.Size-1 {
+			t.Errorf("B(%d,%d): cycle covers %d nodes, want %d", tc.q, tc.n, len(seen), g.Size-1)
+		}
+	}
+}
+
+func TestShiftedCycles(t *testing.T) {
+	// Lemma 3.1: s + C is a cycle.  Lemma 3.3: the cycles {s + C} are
+	// pairwise edge-disjoint.  Together they partition the non-loop edges.
+	for _, tc := range []struct{ q, n int }{{2, 4}, {3, 3}, {4, 2}, {5, 2}, {9, 2}} {
+		m, err := New(tc.q, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := debruijn.New(tc.q, tc.n)
+		cycles := make([][]int, tc.q)
+		for s := 0; s < tc.q; s++ {
+			seq := m.Shifted(s)
+			nodes := g.NodesOfSequence(seq)
+			if !g.IsCycle(nodes) {
+				t.Fatalf("B(%d,%d): %d + C is not a cycle", tc.q, tc.n, s)
+			}
+			// s + C omits exactly sⁿ.
+			omitted := g.Repeat(s)
+			for _, x := range nodes {
+				if x == omitted {
+					t.Fatalf("B(%d,%d): %d + C contains %s", tc.q, tc.n, s, g.String(x))
+				}
+			}
+			cycles[s] = nodes
+		}
+		if !g.EdgeDisjoint(cycles...) {
+			t.Fatalf("B(%d,%d): shifted cycles are not edge-disjoint", tc.q, tc.n)
+		}
+		// Edge partition: d cycles of dⁿ−1 edges + d loops = all dⁿ⁺¹ edges.
+		totalCycleEdges := tc.q * (g.Size - 1)
+		if totalCycleEdges+tc.q != g.D*g.Size {
+			t.Fatalf("B(%d,%d): edge count mismatch", tc.q, tc.n)
+		}
+	}
+}
+
+func TestCycleIndexOfEdge(t *testing.T) {
+	m, err := New(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every window of s + C must be attributed to cycle s.
+	for s := 0; s < 5; s++ {
+		seq := m.Shifted(s)
+		k := len(seq)
+		window := make([]int, m.N+1)
+		for i := 0; i < k; i++ {
+			for j := 0; j <= m.N; j++ {
+				window[j] = seq[(i+j)%k]
+			}
+			if got := m.CycleIndexOfEdge(window); got != s {
+				t.Fatalf("window %v of %d + C attributed to cycle %d", window, s, got)
+			}
+			if got := m.NextDigitOn(s, window[:m.N]); got != window[m.N] {
+				t.Fatalf("NextDigitOn(%d, %v) = %d, want %d", s, window[:m.N], got, window[m.N])
+			}
+		}
+	}
+	// The loop edge sⁿ⁺¹ maps to s by the formula.
+	if got := m.CycleIndexOfEdge([]int{2, 2, 2}); got != 2 {
+		t.Errorf("loop window attributed to %d, want 2", got)
+	}
+}
+
+func TestFromRecurrenceRejectsNonPrimitive(t *testing.T) {
+	f := gf.MustField(5)
+	if _, err := FromRecurrence(gf.Recurrence{F: f, A: []int{1, 0}}); err == nil {
+		t.Error("x² − 1 should be rejected")
+	}
+}
+
+func TestFromRecurrenceSeedValidation(t *testing.T) {
+	f := gf.MustField(5)
+	rec := gf.Recurrence{F: f, A: []int{3, 1}}
+	if _, err := FromRecurrenceSeed(rec, []int{0, 0}); err == nil {
+		t.Error("zero seed should be rejected")
+	}
+	if _, err := FromRecurrenceSeed(rec, []int{1}); err == nil {
+		t.Error("short seed should be rejected")
+	}
+	// Different nonzero seeds give rotations of the same cycle.
+	a, err := FromRecurrenceSeed(rec, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromRecurrenceSeed(rec, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := debruijn.New(5, 2)
+	ea := g.CycleEdges(g.NodesOfSequence(a.Seq))
+	eb := g.CycleEdges(g.NodesOfSequence(b.Seq))
+	seen := make(map[int]bool)
+	for _, e := range ea {
+		seen[e] = true
+	}
+	for _, e := range eb {
+		if !seen[e] {
+			t.Fatal("different seeds should trace the same maximal cycle")
+		}
+	}
+}
+
+func BenchmarkMaximalCycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(4, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package necklace implements the necklace structure of De Bruijn graphs
+// (Chapters 2 and 4 of Rowley–Bose).  A necklace N(x) is the cycle of
+// B(d,n) obtained by rotating the digits of a node; necklaces partition the
+// node set into disjoint cycles whose lengths divide n.
+//
+// The counting half of the package is the Chapter 4 theory: exact formulas,
+// via Möbius inversion, for the number of necklaces of a given length whose
+// nodes satisfy a condition f(x) = g(n) compatible with rotation
+// (Propositions 4.1 and 4.2), with the concrete instantiations used in the
+// paper's examples: counting by length, by weight (binary and d-ary) and by
+// type.
+package necklace
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"debruijnring/internal/numtheory"
+	"debruijnring/internal/word"
+)
+
+// Necklace is one rotation class of B(d,n): its canonical representative
+// (the minimal node, written [y] in the paper) and its length (the period
+// of its nodes).
+type Necklace struct {
+	Rep    int
+	Length int
+}
+
+// Of returns the necklace containing node x.
+func Of(s *word.Space, x int) Necklace {
+	return Necklace{Rep: s.NecklaceRep(x), Length: s.Period(x)}
+}
+
+// Enumerate returns all necklaces of B(d,n) ordered by representative.
+func Enumerate(s *word.Space) []Necklace {
+	var out []Necklace
+	for x := 0; x < s.Size; x++ {
+		if s.NecklaceRep(x) == x {
+			out = append(out, Necklace{Rep: x, Length: s.Period(x)})
+		}
+	}
+	return out
+}
+
+// EnumerateFKM returns the representatives of all necklaces of length
+// dividing n over the d-letter alphabet, in lexicographic order, using the
+// Fredricksen–Kessler–Maiorana algorithm [FM78] (the paper's reference for
+// necklace-based De Bruijn sequence generation).  It agrees with Enumerate
+// but runs in amortized O(1) per necklace instead of scanning all dⁿ nodes.
+func EnumerateFKM(s *word.Space) []Necklace {
+	n, d := s.N, s.D
+	var out []Necklace
+	a := make([]int, n+1) // a[1..n]
+	var gen func(t, p int)
+	gen = func(t, p int) {
+		if t > n {
+			if n%p == 0 {
+				digits := make([]int, n)
+				copy(digits, a[1:n+1])
+				out = append(out, Necklace{Rep: s.FromDigits(digits), Length: p})
+			}
+			return
+		}
+		a[t] = a[t-p]
+		gen(t+1, p)
+		for j := a[t-p] + 1; j < d; j++ {
+			a[t] = j
+			gen(t+1, t)
+		}
+	}
+	gen(1, 1)
+	return out
+}
+
+// Partition groups every node of B(d,n) by necklace representative,
+// returning rep → nodes-in-rotation-order.
+func Partition(s *word.Space) map[int][]int {
+	m := make(map[int][]int)
+	for x := 0; x < s.Size; x++ {
+		rep := s.NecklaceRep(x)
+		if rep == x {
+			m[rep] = s.NecklaceNodes(x, nil)
+		}
+	}
+	return m
+}
+
+// --- Chapter 4: counting ---
+
+// GammaFunc gives #Γ(m), the number of d-ary m-tuples satisfying the
+// node condition at length m (the function f(x) = g(m) of §4.2).  It must
+// satisfy Conditions A and B of the paper: rotation-invariance, and
+// compatibility with root extraction (x = w^{m/t} satisfies at length m iff
+// w satisfies at length t).
+type GammaFunc func(m int) *big.Int
+
+// CountByLength returns the number of necklaces of length t (t | n) in the
+// subgraph of B(d,n) induced by the node condition (Proposition 4.1):
+//
+//	(1/t) Σ_{j|t} #Γ(j)·µ(t/j)
+func CountByLength(n, t int, gamma GammaFunc) *big.Int {
+	if t <= 0 || n%t != 0 {
+		return big.NewInt(0)
+	}
+	sum := big.NewInt(0)
+	term := new(big.Int)
+	for _, j := range numtheory.Divisors(t) {
+		mu := numtheory.Mobius(uint64(t / j))
+		if mu == 0 {
+			continue
+		}
+		term.SetInt64(int64(mu))
+		term.Mul(term, gamma(j))
+		sum.Add(sum, term)
+	}
+	q, r := new(big.Int).QuoRem(sum, big.NewInt(int64(t)), new(big.Int))
+	if r.Sign() != 0 {
+		panic(fmt.Sprintf("necklace: Möbius sum %v not divisible by %d; Γ violates Condition A/B", sum, t))
+	}
+	return q
+}
+
+// CountTotal returns the total number of necklaces in the induced subgraph
+// (Proposition 4.2):
+//
+//	(1/n) Σ_{j|n} #Γ(j)·φ(n/j)
+func CountTotal(n int, gamma GammaFunc) *big.Int {
+	sum := big.NewInt(0)
+	term := new(big.Int)
+	for _, j := range numtheory.Divisors(n) {
+		term.SetInt64(int64(numtheory.EulerPhi(uint64(n / j))))
+		term.Mul(term, gamma(j))
+		sum.Add(sum, term)
+	}
+	q, r := new(big.Int).QuoRem(sum, big.NewInt(int64(n)), new(big.Int))
+	if r.Sign() != 0 {
+		panic(fmt.Sprintf("necklace: totient sum %v not divisible by %d; Γ violates Condition A/B", sum, n))
+	}
+	return q
+}
+
+// GammaAll counts all d-ary m-tuples: #Γ(m) = d^m ("Counting by Length").
+func GammaAll(d int) GammaFunc {
+	return func(m int) *big.Int {
+		return new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(int64(m)), nil)
+	}
+}
+
+// GammaWeight counts d-ary m-tuples of proportional weight: with target
+// weight k at length n, #Γ(m) = c_d(m, km/n) when km/n is integral, else 0
+// ("Counting by Weight").  For d = 2 this is the binomial C(m, km/n).
+func GammaWeight(d, n, k int) GammaFunc {
+	return func(m int) *big.Int {
+		if (k*m)%n != 0 {
+			return big.NewInt(0)
+		}
+		return numtheory.BoundedCompositions(d, m, k*m/n)
+	}
+}
+
+// GammaType counts d-ary m-tuples of proportional type: with target type
+// K = [k₀,…,k_{d−1}] at length n, #Γ(m) = m!/∏(mkᵢ/n)! when every mkᵢ/n is
+// integral, else 0 ("Counting by Type").
+func GammaType(n int, typ []int) GammaFunc {
+	return func(m int) *big.Int {
+		parts := make([]int, len(typ))
+		for i, k := range typ {
+			if (k*m)%n != 0 {
+				return big.NewInt(0)
+			}
+			parts[i] = k * m / n
+		}
+		return numtheory.Multinomial(m, parts)
+	}
+}
+
+// CountAllByLength returns the number of necklaces of length t in B(d,n).
+func CountAllByLength(d, n, t int) *big.Int { return CountByLength(n, t, GammaAll(d)) }
+
+// CountAll returns the total number of necklaces in B(d,n).
+func CountAll(d, n int) *big.Int { return CountTotal(n, GammaAll(d)) }
+
+// CountWeightByLength returns the number of necklaces of length t in B(d,n)
+// whose nodes have weight k·t/n (equivalently: made of nodes of weight k
+// when completed to length n).
+func CountWeightByLength(d, n, k, t int) *big.Int { return CountByLength(n, t, GammaWeight(d, n, k)) }
+
+// CountWeightTotal returns the total number of necklaces of weight k in
+// B(d,n).
+func CountWeightTotal(d, n, k int) *big.Int { return CountTotal(n, GammaWeight(d, n, k)) }
+
+// CountTypeByLength returns the number of necklaces of length t and type K
+// in B(d,n).
+func CountTypeByLength(d, n int, typ []int, t int) *big.Int {
+	if len(typ) != d {
+		panic("necklace: type vector must have d entries")
+	}
+	return CountByLength(n, t, GammaType(n, typ))
+}
+
+// CountTypeTotal returns the total number of necklaces of type K in B(d,n).
+func CountTypeTotal(d, n int, typ []int) *big.Int {
+	if len(typ) != d {
+		panic("necklace: type vector must have d entries")
+	}
+	return CountTotal(n, GammaType(n, typ))
+}
+
+// Type returns the type vector [k₀,…,k_{d−1}] of node x (§4.3): kₐ is the
+// number of occurrences of digit α.
+func Type(s *word.Space, x int) []int {
+	typ := make([]int, s.D)
+	for i := 1; i <= s.N; i++ {
+		typ[s.Digit(x, i)]++
+	}
+	return typ
+}
+
+// Census tabulates, by brute-force enumeration, the necklaces of B(d,n)
+// grouped by length; used by tests to validate the closed-form counts.
+func Census(s *word.Space) map[int]int {
+	counts := make(map[int]int)
+	for _, nk := range Enumerate(s) {
+		counts[nk.Length]++
+	}
+	return counts
+}
+
+// SortNecklaces orders necklaces by representative (ascending), the order
+// used by the FFC algorithm's Step 2 to close T_w stars into cycles.
+func SortNecklaces(ns []Necklace) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Rep < ns[j].Rep })
+}

@@ -1,0 +1,223 @@
+package necklace
+
+import (
+	"math/big"
+	"testing"
+
+	"debruijnring/internal/word"
+)
+
+func TestOf(t *testing.T) {
+	s := word.New(3, 4)
+	x, _ := s.Parse("1120")
+	nk := Of(s, x)
+	rep, _ := s.Parse("0112")
+	if nk.Rep != rep || nk.Length != 4 {
+		t.Errorf("Of(1120) = {%s, %d}", s.String(nk.Rep), nk.Length)
+	}
+	// N(1120) = [0112] = (1120, 1201, 2011, 0112) — §2.1 example.
+	if got := Of(s, x); got != Of(s, s.RotL(x)) {
+		t.Error("rotations must share a necklace")
+	}
+}
+
+func TestEnumerateMatchesFKM(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 1}, {2, 6}, {3, 4}, {4, 3}, {5, 2}, {2, 12}} {
+		s := word.New(tc.d, tc.n)
+		plain := Enumerate(s)
+		fkm := EnumerateFKM(s)
+		if len(plain) != len(fkm) {
+			t.Fatalf("B(%d,%d): Enumerate %d vs FKM %d necklaces", tc.d, tc.n, len(plain), len(fkm))
+		}
+		for i := range plain {
+			if plain[i] != fkm[i] {
+				t.Fatalf("B(%d,%d): mismatch at %d: %v vs %v", tc.d, tc.n, i, plain[i], fkm[i])
+			}
+		}
+	}
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	s := word.New(3, 3)
+	part := Partition(s)
+	covered := 0
+	for rep, nodes := range part {
+		if s.NecklaceRep(rep) != rep {
+			t.Errorf("%s is not canonical", s.String(rep))
+		}
+		covered += len(nodes)
+		for _, x := range nodes {
+			if s.NecklaceRep(x) != rep {
+				t.Errorf("%s assigned to wrong necklace", s.String(x))
+			}
+		}
+	}
+	if covered != s.Size {
+		t.Errorf("partition covers %d of %d nodes", covered, s.Size)
+	}
+}
+
+func TestCountAllByLengthExamples(t *testing.T) {
+	// §4.3: the number of necklaces of length 6 in B(2,12) is 9.
+	if got := CountAllByLength(2, 12, 6); got.Cmp(big.NewInt(9)) != 0 {
+		t.Errorf("necklaces of length 6 in B(2,12) = %v, want 9", got)
+	}
+	// §4.3: the total number of necklaces in B(2,12) is 352.
+	if got := CountAll(2, 12); got.Cmp(big.NewInt(352)) != 0 {
+		t.Errorf("total necklaces in B(2,12) = %v, want 352", got)
+	}
+	// B(3,3) has 11 necklaces (3 fixed points + 8 of length 3).
+	if got := CountAll(3, 3); got.Cmp(big.NewInt(11)) != 0 {
+		t.Errorf("total necklaces in B(3,3) = %v, want 11", got)
+	}
+	// Non-divisor lengths count zero.
+	if got := CountAllByLength(2, 12, 5); got.Sign() != 0 {
+		t.Errorf("length 5 in B(2,12) = %v, want 0", got)
+	}
+}
+
+func TestCountWeightExamples(t *testing.T) {
+	// §4.3: necklaces of weight 4 and length 6 in B(2,12): 2.
+	if got := CountWeightByLength(2, 12, 4, 6); got.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("weight-4 length-6 necklaces in B(2,12) = %v, want 2", got)
+	}
+	// §4.3: total necklaces of weight 4 in B(2,12): 43.
+	if got := CountWeightTotal(2, 12, 4); got.Cmp(big.NewInt(43)) != 0 {
+		t.Errorf("weight-4 necklaces in B(2,12) = %v, want 43", got)
+	}
+	// §4.3: necklaces of weight 4 and length 4 in B(3,4): 4.
+	if got := CountWeightByLength(3, 4, 4, 4); got.Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("weight-4 length-4 necklaces in B(3,4) = %v, want 4", got)
+	}
+}
+
+// bruteWeightCount counts necklaces of weight k (and optionally length t)
+// in B(d,n) by enumeration.
+func bruteWeightCount(s *word.Space, k, t int) int64 {
+	var count int64
+	for _, nk := range Enumerate(s) {
+		// A necklace of length t consists of nodes of weight k iff the
+		// representative (an n-tuple) has weight k.
+		if s.Weight(nk.Rep) != k {
+			continue
+		}
+		if t == 0 || nk.Length == t {
+			count++
+		}
+	}
+	return count
+}
+
+func TestCountWeightAgainstEnumeration(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 8}, {2, 12}, {3, 6}, {4, 4}, {5, 3}} {
+		s := word.New(tc.d, tc.n)
+		for k := 0; k <= tc.n*(tc.d-1); k++ {
+			want := bruteWeightCount(s, k, 0)
+			if got := CountWeightTotal(tc.d, tc.n, k); got.Cmp(big.NewInt(want)) != 0 {
+				t.Errorf("B(%d,%d) weight %d: formula %v, enumeration %d", tc.d, tc.n, k, got, want)
+			}
+			for _, div := range []int{1, 2, tc.n} {
+				if tc.n%div != 0 {
+					continue
+				}
+				want := bruteWeightCount(s, k, div)
+				if got := CountWeightByLength(tc.d, tc.n, k, div); got.Cmp(big.NewInt(want)) != 0 {
+					t.Errorf("B(%d,%d) weight %d length %d: formula %v, enumeration %d",
+						tc.d, tc.n, k, div, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountAllAgainstEnumeration(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 10}, {3, 5}, {4, 4}, {6, 3}} {
+		s := word.New(tc.d, tc.n)
+		census := Census(s)
+		total := 0
+		for _, c := range census {
+			total += c
+		}
+		if got := CountAll(tc.d, tc.n); got.Cmp(big.NewInt(int64(total))) != 0 {
+			t.Errorf("B(%d,%d): CountAll = %v, census %d", tc.d, tc.n, got, total)
+		}
+		for length, cnt := range census {
+			if got := CountAllByLength(tc.d, tc.n, length); got.Cmp(big.NewInt(int64(cnt))) != 0 {
+				t.Errorf("B(%d,%d) length %d: formula %v, census %d", tc.d, tc.n, length, got, cnt)
+			}
+		}
+	}
+}
+
+func TestTypeCounting(t *testing.T) {
+	s := word.New(4, 6)
+	x, _ := s.Parse("312211")
+	typ := Type(s, x)
+	want := []int{0, 3, 2, 1}
+	for i := range want {
+		if typ[i] != want[i] {
+			t.Fatalf("type(312211) = %v, want %v", typ, want)
+		}
+	}
+	// Cross-check type counts against enumeration on B(3,4).
+	s34 := word.New(3, 4)
+	types := map[[3]int]int64{}
+	typesByLen := map[[4]int]int64{}
+	for _, nk := range Enumerate(s34) {
+		tv := Type(s34, nk.Rep)
+		key := [3]int{tv[0], tv[1], tv[2]}
+		types[key]++
+		typesByLen[[4]int{tv[0], tv[1], tv[2], nk.Length}]++
+	}
+	for key, want := range types {
+		got := CountTypeTotal(3, 4, key[:])
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("type %v total: formula %v, enumeration %d", key, got, want)
+		}
+	}
+	for key, want := range typesByLen {
+		got := CountTypeByLength(3, 4, key[:3], key[3])
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("type %v length %d: formula %v, enumeration %d", key[:3], key[3], got, want)
+		}
+	}
+	// Binary types reduce to weights: type [n−k, k] ⇔ weight k (§4.3).
+	for k := 0; k <= 12; k++ {
+		byType := CountTypeTotal(2, 12, []int{12 - k, k})
+		byWeight := CountWeightTotal(2, 12, k)
+		if byType.Cmp(byWeight) != 0 {
+			t.Errorf("k=%d: type count %v ≠ weight count %v", k, byType, byWeight)
+		}
+	}
+}
+
+func TestTypePanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong type-vector length")
+		}
+	}()
+	CountTypeTotal(3, 4, []int{1, 2})
+}
+
+func TestSortNecklaces(t *testing.T) {
+	ns := []Necklace{{Rep: 5, Length: 1}, {Rep: 2, Length: 3}, {Rep: 9, Length: 3}}
+	SortNecklaces(ns)
+	if ns[0].Rep != 2 || ns[1].Rep != 5 || ns[2].Rep != 9 {
+		t.Errorf("sorted = %v", ns)
+	}
+}
+
+func BenchmarkEnumerateFKM(b *testing.B) {
+	s := word.New(2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EnumerateFKM(s)
+	}
+}
+
+func BenchmarkCountAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CountAll(2, 32)
+	}
+}

@@ -1,0 +1,119 @@
+// Package netsim is a small synchronous message-passing network simulator:
+// the substrate on which the distributed FFC algorithm of Rowley–Bose §2.4
+// runs.  Time advances in rounds; every message sent in round r is
+// delivered at the start of round r+1 (the multi-port model: a node may
+// send to all neighbours in one round).  The simulator counts rounds and
+// messages, which are exactly the complexity measures the paper reports.
+//
+// Fault model: killed nodes send nothing and silently drop everything
+// addressed to them, matching the paper's total-failure assumption.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Message is an in-flight payload with its sender.
+type Message struct {
+	From    int
+	Payload any
+}
+
+// Network is a synchronous network of n nodes addressed 0..n−1.
+type Network struct {
+	n       int
+	dead    []bool
+	pending [][]Message // messages to deliver at the next Step
+	queued  [][]Message // messages sent during the current Step
+
+	Round        int   // rounds executed so far
+	MessagesSent int64 // total messages accepted from live senders
+}
+
+// New creates a network of n nodes, all alive.
+func New(n int) *Network {
+	return &Network{
+		n:       n,
+		dead:    make([]bool, n),
+		pending: make([][]Message, n),
+		queued:  make([][]Message, n),
+	}
+}
+
+// Size returns the number of nodes.
+func (net *Network) Size() int { return net.n }
+
+// Kill marks a node faulty: it will neither send nor receive.
+func (net *Network) Kill(node int) { net.dead[node] = true }
+
+// Alive reports whether a node is not faulty.
+func (net *Network) Alive(node int) bool { return !net.dead[node] }
+
+// Send queues a message for delivery in the next round.  Sends from dead
+// nodes are ignored; sends to dead nodes are counted but dropped.
+func (net *Network) Send(from, to int, payload any) {
+	if from < 0 || from >= net.n || to < 0 || to >= net.n {
+		panic(fmt.Sprintf("netsim: send %d → %d out of range", from, to))
+	}
+	if net.dead[from] {
+		return
+	}
+	net.MessagesSent++
+	if net.dead[to] {
+		return
+	}
+	net.queued[to] = append(net.queued[to], Message{From: from, Payload: payload})
+}
+
+// Step delivers every message queued in the previous round, invoking
+// handler once per node that has mail (in ascending node order, with each
+// inbox sorted by sender so runs are deterministic).  Handlers send the
+// next round's messages via Send.  Step reports whether anything was
+// delivered and advances the round counter when so.
+func (net *Network) Step(handler func(node int, inbox []Message)) bool {
+	net.pending, net.queued = net.queued, net.pending
+	for i := range net.queued {
+		net.queued[i] = net.queued[i][:0]
+	}
+	any := false
+	for node := 0; node < net.n; node++ {
+		if len(net.pending[node]) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return false
+	}
+	net.Round++ // handlers observe the round in which their mail arrives
+	for node := 0; node < net.n; node++ {
+		inbox := net.pending[node]
+		if len(inbox) == 0 {
+			continue
+		}
+		sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+		handler(node, inbox)
+	}
+	return true
+}
+
+// RunUntilQuiet repeatedly Steps until no messages are in flight and
+// returns the number of rounds that delivered mail.
+func (net *Network) RunUntilQuiet(handler func(node int, inbox []Message)) int {
+	rounds := 0
+	for net.Step(handler) {
+		rounds++
+	}
+	return rounds
+}
+
+// RunRounds executes exactly k delivery rounds (quiet rounds count toward
+// k; this models protocol phases with a fixed round budget).
+func (net *Network) RunRounds(k int, handler func(node int, inbox []Message)) {
+	for i := 0; i < k; i++ {
+		if !net.Step(handler) {
+			net.Round++ // a silent round still consumes time
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import "testing"
+
+func TestPingPong(t *testing.T) {
+	net := New(2)
+	net.Send(0, 1, "ping")
+	hops := 0
+	rounds := net.RunUntilQuiet(func(node int, inbox []Message) {
+		for _, m := range inbox {
+			hops++
+			if hops < 5 {
+				net.Send(node, m.From, "pong")
+			}
+		}
+	})
+	if hops != 5 {
+		t.Errorf("hops = %d, want 5", hops)
+	}
+	if rounds != 5 {
+		t.Errorf("rounds = %d, want 5", rounds)
+	}
+	if net.MessagesSent != 5 {
+		t.Errorf("messages = %d, want 5", net.MessagesSent)
+	}
+}
+
+func TestDeadNodesDropMail(t *testing.T) {
+	net := New(3)
+	net.Kill(1)
+	if net.Alive(1) {
+		t.Error("killed node reported alive")
+	}
+	net.Send(0, 1, "lost") // counted, dropped
+	net.Send(1, 2, "never")
+	delivered := 0
+	net.RunUntilQuiet(func(node int, inbox []Message) { delivered += len(inbox) })
+	if delivered != 0 {
+		t.Errorf("delivered %d messages through a dead node", delivered)
+	}
+	if net.MessagesSent != 1 {
+		t.Errorf("MessagesSent = %d, want 1 (dead senders not counted)", net.MessagesSent)
+	}
+}
+
+func TestSynchronousDelivery(t *testing.T) {
+	// A message sent in round r arrives in round r+1, never earlier.
+	net := New(2)
+	net.Send(0, 1, 1)
+	arrivals := []int{}
+	net.RunUntilQuiet(func(node int, inbox []Message) {
+		for range inbox {
+			arrivals = append(arrivals, net.Round)
+		}
+		if net.Round < 3 {
+			net.Send(node, node^1, 1)
+		}
+	})
+	want := []int{1, 2, 3}
+	if len(arrivals) != len(want) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestInboxOrderDeterministic(t *testing.T) {
+	net := New(4)
+	net.Send(2, 0, "b")
+	net.Send(1, 0, "a")
+	net.Send(3, 0, "c")
+	net.Step(func(node int, inbox []Message) {
+		if len(inbox) != 3 {
+			t.Fatalf("inbox size %d", len(inbox))
+		}
+		for i, from := range []int{1, 2, 3} {
+			if inbox[i].From != from {
+				t.Errorf("inbox[%d].From = %d, want %d", i, inbox[i].From, from)
+			}
+		}
+	})
+}
+
+func TestRunRoundsCountsSilentRounds(t *testing.T) {
+	net := New(2)
+	net.RunRounds(3, func(int, []Message) {})
+	if net.Round != 3 {
+		t.Errorf("Round = %d, want 3 (silent rounds consume time)", net.Round)
+	}
+}
+
+func TestSendRangePanics(t *testing.T) {
+	net := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range send")
+		}
+	}()
+	net.Send(0, 5, nil)
+}

@@ -1,0 +1,331 @@
+// Package numtheory supplies the elementary number theory used throughout
+// the Rowley–Bose reproduction: gcd/lcm, the Euler and Möbius functions,
+// deterministic 64-bit primality testing, Pollard-rho factorization,
+// prime-power decomposition, primitive roots of Z_p, and binomial /
+// multinomial / bounded-composition counting (Chapter 4).
+package numtheory
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+	"sort"
+)
+
+// GCD returns the greatest common divisor of a and b (non-negative inputs).
+func GCD(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b.  LCM(0, x) = 0.
+func LCM(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / GCD(a, b) * b
+}
+
+// mulmod returns a*b mod m without overflow for m < 2^63.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powmod returns a^e mod m.
+func powmod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	r := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulmod(r, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return r
+}
+
+// IsPrime reports whether n is prime.  It uses the deterministic
+// Miller–Rabin witness set valid for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	// Sinclair's deterministic witness set for n < 2^64.
+witness:
+	for _, a := range []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
+		x := powmod(a%n, d, n)
+		if x == 0 || x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// pollardRho returns a non-trivial factor of composite odd n > 1.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 { return (mulmod(x, x, n) + c) % n }
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				break // cycle without factor; retry with new c
+			}
+			d = uint64(GCD(int(diff), int(n)))
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+// Factor returns the prime factorization of n ≥ 1 as sorted (prime,
+// exponent) pairs.  Factor(1) returns nil.
+func Factor(n uint64) []PrimePower {
+	if n <= 1 {
+		return nil
+	}
+	counts := make(map[uint64]int)
+	factorInto(n, counts)
+	primes := make([]uint64, 0, len(counts))
+	for p := range counts {
+		primes = append(primes, p)
+	}
+	sort.Slice(primes, func(i, j int) bool { return primes[i] < primes[j] })
+	out := make([]PrimePower, len(primes))
+	for i, p := range primes {
+		out[i] = PrimePower{P: p, E: counts[p]}
+	}
+	return out
+}
+
+// PrimePower is one term p^e of a factorization.
+type PrimePower struct {
+	P uint64
+	E int
+}
+
+// Value returns p^e.
+func (pp PrimePower) Value() uint64 {
+	v := uint64(1)
+	for i := 0; i < pp.E; i++ {
+		v *= pp.P
+	}
+	return v
+}
+
+func factorInto(n uint64, counts map[uint64]int) {
+	for n%2 == 0 {
+		counts[2]++
+		n /= 2
+	}
+	for p := uint64(3); p*p <= n && p < 1<<20; p += 2 {
+		for n%p == 0 {
+			counts[p]++
+			n /= p
+		}
+	}
+	if n == 1 {
+		return
+	}
+	if IsPrime(n) {
+		counts[n]++
+		return
+	}
+	d := pollardRho(n)
+	factorInto(d, counts)
+	factorInto(n/d, counts)
+}
+
+// EulerPhi returns φ(n), the number of positive integers ≤ n coprime to n.
+func EulerPhi(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	r := n
+	for _, pp := range Factor(n) {
+		r = r / pp.P * (pp.P - 1)
+	}
+	return r
+}
+
+// Mobius returns µ(n): 1 if n = 1, (−1)^k for a product of k distinct
+// primes, and 0 if n has a repeated prime factor (§4.1).
+func Mobius(n uint64) int {
+	if n == 1 {
+		return 1
+	}
+	fs := Factor(n)
+	for _, pp := range fs {
+		if pp.E > 1 {
+			return 0
+		}
+	}
+	if len(fs)%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Divisors returns the positive divisors of n in increasing order.
+func Divisors(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	var ds []int
+	for i := 1; i*i <= n; i++ {
+		if n%i == 0 {
+			ds = append(ds, i)
+			if j := n / i; j != i {
+				ds = append(ds, j)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// PrimePowerOf reports whether n = p^e for a prime p and e ≥ 1, returning
+// p and e when so.
+func PrimePowerOf(n int) (p int, e int, ok bool) {
+	if n < 2 {
+		return 0, 0, false
+	}
+	fs := Factor(uint64(n))
+	if len(fs) != 1 {
+		return 0, 0, false
+	}
+	return int(fs[0].P), fs[0].E, true
+}
+
+// PrimitiveRoot returns the least primitive root of Z_p for prime p ≥ 3.
+func PrimitiveRoot(p int) int {
+	if !IsPrime(uint64(p)) || p < 3 {
+		panic(fmt.Sprintf("numtheory: PrimitiveRoot wants an odd prime, got %d", p))
+	}
+	phi := uint64(p - 1)
+	fs := Factor(phi)
+	for g := 2; g < p; g++ {
+		ok := true
+		for _, pp := range fs {
+			if powmod(uint64(g), phi/pp.P, uint64(p)) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	panic("numtheory: no primitive root found (unreachable for prime p)")
+}
+
+// PrimitiveRoots returns all primitive roots of Z_p in increasing order.
+func PrimitiveRoots(p int) []int {
+	g := PrimitiveRoot(p)
+	var roots []int
+	// λ^k is a primitive root iff gcd(k, p−1) = 1.
+	x := 1
+	for k := 1; k < p; k++ {
+		x = x * g % p
+		if GCD(k, p-1) == 1 {
+			roots = append(roots, x)
+		}
+	}
+	sort.Ints(roots)
+	return roots
+}
+
+// PowMod returns a^e mod m for non-negative ints.
+func PowMod(a, e, m int) int {
+	return int(powmod(uint64(a%m+m)%uint64(m), uint64(e), uint64(m)))
+}
+
+// Binomial returns C(n, k) as a big.Int; zero when k < 0 or k > n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Multinomial returns n! / (k₀!·k₁!·…·k_{m−1}!) as a big.Int; the parts
+// must be non-negative and sum to n, else the result is zero.
+func Multinomial(n int, parts []int) *big.Int {
+	sum := 0
+	for _, k := range parts {
+		if k < 0 {
+			return big.NewInt(0)
+		}
+		sum += k
+	}
+	if sum != n {
+		return big.NewInt(0)
+	}
+	r := big.NewInt(1)
+	rem := n
+	for _, k := range parts {
+		r.Mul(r, Binomial(rem, k))
+		rem -= k
+	}
+	return r
+}
+
+// BoundedCompositions returns c_d(n, k): the number of d-ary n-tuples of
+// weight k, i.e. ways to choose k from n objects with each chosen at most
+// d−1 times (§4.3, after [Knu73]):
+//
+//	c_d(n,k) = Σ_{i=0}^{⌊k/d⌋} (−1)ⁱ C(n,i) C(n−1+k−di, n−1)
+func BoundedCompositions(d, n, k int) *big.Int {
+	if k < 0 || k > n*(d-1) {
+		return big.NewInt(0)
+	}
+	if n == 0 {
+		return big.NewInt(1) // the empty tuple, weight 0
+	}
+	total := big.NewInt(0)
+	term := new(big.Int)
+	for i := 0; i*d <= k; i++ {
+		term.Mul(Binomial(n, i), Binomial(n-1+k-d*i, n-1))
+		if i%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+	}
+	return total
+}

@@ -1,0 +1,310 @@
+package numtheory
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCDLCM(t *testing.T) {
+	cases := []struct{ a, b, gcd, lcm int }{
+		{12, 18, 6, 36},
+		{7, 13, 1, 91},
+		{0, 5, 5, 0},
+		{4, 0, 4, 0},
+		{1, 1, 1, 1},
+		{4, 6, 2, 12},
+		{4096, 12, 4, 12288},
+	}
+	for _, c := range cases {
+		if g := GCD(c.a, c.b); g != c.gcd {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, g, c.gcd)
+		}
+		if l := LCM(c.a, c.b); l != c.lcm {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, l, c.lcm)
+		}
+	}
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	// Sieve comparison up to 10000.
+	limit := 10000
+	sieve := make([]bool, limit+1)
+	for i := 2; i <= limit; i++ {
+		sieve[i] = true
+	}
+	for i := 2; i*i <= limit; i++ {
+		if sieve[i] {
+			for j := i * i; j <= limit; j += i {
+				sieve[j] = false
+			}
+		}
+	}
+	for n := 0; n <= limit; n++ {
+		if got := IsPrime(uint64(n)); got != sieve[n] {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, sieve[n])
+		}
+	}
+}
+
+func TestIsPrimeLarge(t *testing.T) {
+	primes := []uint64{
+		(1 << 31) - 1, // Mersenne prime 2^31-1
+		1000000007,
+		1000000009,
+		18446744073709551557, // largest 64-bit prime
+	}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	composites := []uint64{
+		(1 << 31), 1000000007 * 2, 3215031751, // strong pseudoprime to bases 2,3,5,7
+		341550071728321, // strong pseudoprime to bases 2..17
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestFactor(t *testing.T) {
+	cases := map[uint64][]PrimePower{
+		1:    nil,
+		2:    {{2, 1}},
+		360:  {{2, 3}, {3, 2}, {5, 1}},
+		1023: {{3, 1}, {11, 1}, {31, 1}}, // 2^10 − 1
+		1024: {{2, 10}},
+	}
+	for n, want := range cases {
+		got := Factor(n)
+		if len(got) != len(want) {
+			t.Fatalf("Factor(%d) = %v, want %v", n, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Factor(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+	// Factorization reconstructs the number, for a spread of inputs
+	// including semiprimes that force Pollard rho.
+	for _, n := range []uint64{2 * 3 * 5 * 7 * 11 * 13, 1<<40 - 1, 999999999989 * 2, 1000003 * 1000033} {
+		prod := uint64(1)
+		for _, pp := range Factor(n) {
+			if !IsPrime(pp.P) {
+				t.Fatalf("Factor(%d) returned composite factor %d", n, pp.P)
+			}
+			prod *= pp.Value()
+		}
+		if prod != n {
+			t.Fatalf("Factor(%d) product = %d", n, prod)
+		}
+	}
+}
+
+func TestEulerPhi(t *testing.T) {
+	want := map[uint64]uint64{1: 1, 2: 1, 3: 2, 4: 2, 5: 4, 6: 2, 9: 6, 10: 4, 12: 4, 36: 12, 97: 96}
+	for n, w := range want {
+		if got := EulerPhi(n); got != w {
+			t.Errorf("φ(%d) = %d, want %d", n, got, w)
+		}
+	}
+	// Multiplicativity φ(mn) = φ(m)φ(n) for coprime m, n.
+	f := func(a, b uint8) bool {
+		m, n := uint64(a%50+2), uint64(b%50+2)
+		if GCD(int(m), int(n)) != 1 {
+			return true
+		}
+		return EulerPhi(m*n) == EulerPhi(m)*EulerPhi(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMobius(t *testing.T) {
+	want := map[uint64]int{1: 1, 2: -1, 3: -1, 4: 0, 5: -1, 6: 1, 12: 0, 30: -1, 35: 1, 36: 0}
+	for n, w := range want {
+		if got := Mobius(n); got != w {
+			t.Errorf("µ(%d) = %d, want %d", n, got, w)
+		}
+	}
+	// Σ_{d|n} µ(d) = [n = 1].
+	for n := 1; n <= 200; n++ {
+		sum := 0
+		for _, d := range Divisors(n) {
+			sum += Mobius(uint64(d))
+		}
+		want := 0
+		if n == 1 {
+			want = 1
+		}
+		if sum != want {
+			t.Fatalf("Σ µ(d|%d) = %d, want %d", n, sum, want)
+		}
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(12)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(12) = %v", got)
+		}
+	}
+	if Divisors(0) != nil {
+		t.Error("Divisors(0) should be nil")
+	}
+}
+
+func TestPrimePowerOf(t *testing.T) {
+	cases := []struct {
+		n, p, e int
+		ok      bool
+	}{
+		{2, 2, 1, true}, {4, 2, 2, true}, {8, 2, 3, true}, {9, 3, 2, true},
+		{25, 5, 2, true}, {27, 3, 3, true}, {32, 2, 5, true}, {13, 13, 1, true},
+		{6, 0, 0, false}, {12, 0, 0, false}, {1, 0, 0, false}, {0, 0, 0, false},
+		{36, 0, 0, false},
+	}
+	for _, c := range cases {
+		p, e, ok := PrimePowerOf(c.n)
+		if p != c.p || e != c.e || ok != c.ok {
+			t.Errorf("PrimePowerOf(%d) = (%d,%d,%v), want (%d,%d,%v)", c.n, p, e, ok, c.p, c.e, c.ok)
+		}
+	}
+}
+
+func TestPrimitiveRoot(t *testing.T) {
+	// Known least primitive roots.
+	want := map[int]int{3: 2, 5: 2, 7: 3, 11: 2, 13: 2, 17: 3, 19: 2, 23: 5, 29: 2, 31: 3, 37: 2}
+	for p, w := range want {
+		if got := PrimitiveRoot(p); got != w {
+			t.Errorf("PrimitiveRoot(%d) = %d, want %d", p, got, w)
+		}
+	}
+	// Every root generates the full multiplicative group, and there are
+	// φ(p−1) of them.
+	for _, p := range []int{5, 13, 29} {
+		roots := PrimitiveRoots(p)
+		if len(roots) != int(EulerPhi(uint64(p-1))) {
+			t.Errorf("p=%d: %d primitive roots, want φ(%d) = %d", p, len(roots), p-1, EulerPhi(uint64(p-1)))
+		}
+		for _, g := range roots {
+			seen := make(map[int]bool)
+			x := 1
+			for i := 0; i < p-1; i++ {
+				x = x * g % p
+				seen[x] = true
+			}
+			if len(seen) != p-1 {
+				t.Errorf("p=%d: %d does not generate Z_p*", p, g)
+			}
+		}
+	}
+	// 7 is a primitive root of Z_13 (used in Example 3.3).
+	found := false
+	for _, g := range PrimitiveRoots(13) {
+		if g == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("7 should be a primitive root of Z_13")
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	if got := PowMod(7, 11, 13); got != 2 {
+		t.Errorf("7^11 mod 13 = %d, want 2", got)
+	}
+	if got := PowMod(7, 9, 13); got != PowMod(7, 9, 13) {
+		t.Error("PowMod not deterministic")
+	}
+	// 2 ≡ 7^11 ≡ 7 + 7^9 (mod 13), the Example 3.3 identity.
+	if (PowMod(7, 1, 13)+PowMod(7, 9, 13))%13 != 2 {
+		t.Error("7 + 7^9 ≢ 2 (mod 13)")
+	}
+}
+
+func TestBinomialMultinomial(t *testing.T) {
+	if got := Binomial(12, 4); got.Cmp(big.NewInt(495)) != 0 {
+		t.Errorf("C(12,4) = %v, want 495", got)
+	}
+	if got := Binomial(6, 2); got.Cmp(big.NewInt(15)) != 0 {
+		t.Errorf("C(6,2) = %v, want 15", got)
+	}
+	if Binomial(5, -1).Sign() != 0 || Binomial(5, 6).Sign() != 0 {
+		t.Error("out-of-range binomial should be 0")
+	}
+	// Type [0,3,2,1]: 6!/(0!3!2!1!) = 60 (§4.3 example: 312211 has type
+	// [0,3,2,1]; the count of 6-tuples of that type).
+	if got := Multinomial(6, []int{0, 3, 2, 1}); got.Cmp(big.NewInt(60)) != 0 {
+		t.Errorf("Multinomial(6;0,3,2,1) = %v, want 60", got)
+	}
+	if Multinomial(6, []int{1, 2}).Sign() != 0 {
+		t.Error("parts not summing to n should give 0")
+	}
+	if Multinomial(3, []int{-1, 4}).Sign() != 0 {
+		t.Error("negative part should give 0")
+	}
+}
+
+func TestBoundedCompositions(t *testing.T) {
+	// d = 2 reduces to binomials.
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			if BoundedCompositions(2, n, k).Cmp(Binomial(n, k)) != 0 {
+				t.Fatalf("c_2(%d,%d) ≠ C(%d,%d)", n, k, n, k)
+			}
+		}
+	}
+	// c_3(4,4) = 19 (§4.3: number of ternary 4-tuples of weight 4).
+	if got := BoundedCompositions(3, 4, 4); got.Cmp(big.NewInt(19)) != 0 {
+		t.Errorf("c_3(4,4) = %v, want 19", got)
+	}
+	// Exhaustive check against enumeration for several (d, n).
+	for _, d := range []int{2, 3, 4, 5} {
+		n := 5
+		counts := make([]int64, n*(d-1)+1)
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= d
+		}
+		for x := 0; x < total; x++ {
+			w, v := 0, x
+			for i := 0; i < n; i++ {
+				w += v % d
+				v /= d
+			}
+			counts[w]++
+		}
+		for k := 0; k <= n*(d-1); k++ {
+			if got := BoundedCompositions(d, n, k); got.Cmp(big.NewInt(counts[k])) != 0 {
+				t.Fatalf("c_%d(%d,%d) = %v, want %d", d, n, k, got, counts[k])
+			}
+		}
+		if BoundedCompositions(d, n, n*(d-1)+1).Sign() != 0 {
+			t.Fatalf("c_%d(%d, max+1) should be 0", d, n)
+		}
+	}
+}
+
+func BenchmarkFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Factor(uint64(1)<<40 - 1)
+	}
+}
+
+func BenchmarkIsPrime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		IsPrime(18446744073709551557)
+	}
+}

@@ -1,0 +1,152 @@
+package debruijnring
+
+import (
+	"fmt"
+
+	"debruijnring/internal/debruijn"
+	"debruijnring/internal/ffc"
+)
+
+// Graph is a d-ary De Bruijn network B(d,n) with dⁿ processors.
+type Graph struct {
+	d, n int
+	g    *debruijn.Graph
+}
+
+// New returns B(d,n).  d must be at least 2 and n at least 1.
+func New(d, n int) (*Graph, error) {
+	if d < 2 || n < 1 {
+		return nil, fmt.Errorf("debruijnring: invalid dimensions d=%d, n=%d", d, n)
+	}
+	return &Graph{d: d, n: n, g: debruijn.New(d, n)}, nil
+}
+
+// D returns the arity (alphabet size) d.
+func (g *Graph) D() int { return g.d }
+
+// N returns the word length n.
+func (g *Graph) N() int { return g.n }
+
+// Nodes returns the processor count dⁿ.
+func (g *Graph) Nodes() int { return g.g.Size }
+
+// Edges returns the link count d·dⁿ (loops included).
+func (g *Graph) Edges() int { return g.g.NumEdges() }
+
+// Node parses a processor label such as "0112" into its node id.
+func (g *Graph) Node(label string) (int, error) { return g.g.Parse(label) }
+
+// Label renders a node id as its d-ary word.
+func (g *Graph) Label(node int) string { return g.g.String(node) }
+
+// Neighbors returns the De Bruijn successors of a node.
+func (g *Graph) Neighbors(node int) []int {
+	return g.g.Successors(node, nil)
+}
+
+// Ring is an embedded ring: a cycle of distinct processors in which
+// consecutive entries (and the final-to-first pair) are joined by network
+// links.  Embedded rings have unit dilation and congestion.
+type Ring struct {
+	Nodes []int
+}
+
+// Len returns the ring length.
+func (r *Ring) Len() int { return len(r.Nodes) }
+
+// EmbedStats reports the bookkeeping of a node-fault embedding.
+type EmbedStats struct {
+	BStarSize           int // processors in the surviving component B*
+	FaultyNecklaceNodes int // processors sacrificed with faulty necklaces (≤ nf)
+	Eccentricity        int // broadcast rounds from the ring's root (Step 1.1)
+	LowerBound          int // dⁿ − nf, guaranteed when f ≤ d−2 (Prop 2.2)
+}
+
+// EmbedRing finds a ring through every processor of the largest component
+// that survives removing the necklaces of the faulty nodes (the FFC
+// algorithm of Chapter 2).  With f ≤ d−2 faults the ring is guaranteed to
+// have length at least dⁿ − nf.
+func (g *Graph) EmbedRing(faults []int) (*Ring, *EmbedStats, error) {
+	if err := g.checkNodes(faults); err != nil {
+		return nil, nil, err
+	}
+	res, err := ffc.Embed(g.g, faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &EmbedStats{
+		BStarSize:           res.BStarSize,
+		FaultyNecklaceNodes: res.FaultyNodeCount,
+		Eccentricity:        res.Eccentricity,
+		LowerBound:          ffc.UpperBound(g.g, len(faults)),
+	}
+	return &Ring{Nodes: res.Cycle}, stats, nil
+}
+
+// DistributedStats reports the communication cost of the network-level
+// embedding: the paper's complexity measure.
+type DistributedStats struct {
+	Rounds         int   // total synchronous communication rounds (O(K + n))
+	BroadcastRound int   // rounds spent broadcasting (K, the eccentricity)
+	Messages       int64 // total messages exchanged
+}
+
+// EmbedRingDistributed runs the distributed implementation of the FFC
+// algorithm (§2.4) on a simulated synchronous network and returns the same
+// ring as EmbedRing together with its communication cost.
+func (g *Graph) EmbedRingDistributed(faults []int) (*Ring, *DistributedStats, error) {
+	if err := g.checkNodes(faults); err != nil {
+		return nil, nil, err
+	}
+	seq, err := ffc.Embed(g.g, faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ffc.EmbedDistributedFrom(g.g, faults, seq.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &DistributedStats{
+		Rounds:         res.Rounds.Total(),
+		BroadcastRound: res.Rounds.Broadcast,
+		Messages:       res.Messages,
+	}
+	return &Ring{Nodes: res.Cycle}, stats, nil
+}
+
+// RouteAround returns a fault-free path of length at most 2n between two
+// processors on nonfaulty necklaces, valid whenever at most d−2 necklaces
+// are faulty (Proposition 2.2).
+func (g *Graph) RouteAround(from, to int, faults []int) ([]int, error) {
+	if err := g.checkNodes(append([]int{from, to}, faults...)); err != nil {
+		return nil, err
+	}
+	return ffc.FaultFreePath(g.g, from, to, ffc.FaultyNecklaces(g.g, faults))
+}
+
+// Verify reports whether the ring is a valid cycle of this network that
+// avoids the given faulty nodes.
+func (g *Graph) Verify(r *Ring, faults []int) bool {
+	if r == nil || !g.g.IsCycle(r.Nodes) {
+		return false
+	}
+	bad := make(map[int]bool, len(faults))
+	for _, f := range faults {
+		bad[f] = true
+	}
+	for _, v := range r.Nodes {
+		if bad[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Graph) checkNodes(nodes []int) error {
+	for _, v := range nodes {
+		if v < 0 || v >= g.g.Size {
+			return fmt.Errorf("debruijnring: node %d out of range [0,%d)", v, g.g.Size)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package debruijnring
+
+import (
+	"debruijnring/internal/shuffleexchange"
+)
+
+// ShuffleExchangeRing is a fault-free ring carried into the shuffle-
+// exchange network SE(d,n): Ring lists the underlying De Bruijn ring
+// processors, Walk the SE nodes traversed (ring processors plus at most
+// one rotation intermediate per hop).
+type ShuffleExchangeRing struct {
+	Ring []int
+	Walk []int
+}
+
+// Dilation returns the embedding's dilation (1 or 2).
+func (r *ShuffleExchangeRing) Dilation() int {
+	if len(r.Walk) > len(r.Ring) {
+		return 2
+	}
+	return 1
+}
+
+// EmbedRingShuffleExchange carries the Chapter 2 fault-free ring into the
+// shuffle-exchange network SE(d,n): every De Bruijn hop factors as a
+// shuffle followed by an exchange, giving an embedding with dilation ≤ 2
+// and congestion 1 per directed channel that stays clear of faulty
+// necklaces (the intermediates are rotations of ring processors).
+func EmbedRingShuffleExchange(d, n int, faults []int) (*ShuffleExchangeRing, error) {
+	emb, err := shuffleexchange.EmbedRing(d, n, faults)
+	if err != nil {
+		return nil, err
+	}
+	return &ShuffleExchangeRing{Ring: emb.Ring, Walk: emb.Walk}, nil
+}
