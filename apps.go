@@ -5,6 +5,7 @@ import (
 
 	"debruijnring/internal/broadcast"
 	"debruijnring/internal/hypercube"
+	"debruijnring/topology"
 )
 
 // BroadcastResult summarizes an all-to-all broadcast simulation (§3.2's
@@ -41,9 +42,14 @@ func (g *Graph) AllToAllBroadcast(rings []*Ring, msgSize int) (*BroadcastResult,
 // HypercubeRing embeds a fault-free ring of length at least 2ⁿ − 2f in the
 // binary n-cube with f ≤ n−2 faulty processors — the baseline the paper
 // compares against ([WC92, CL91a]; see the Chapter 2 comparison of Q_12
-// with B(4,6)).
+// with B(4,6)).  It is the topology.Hypercube adapter's embedding.
 func HypercubeRing(n int, faults []int) ([]int, error) {
-	return hypercube.FaultFreeCycle(n, faults)
+	net, err := topology.NewHypercube(n)
+	if err != nil {
+		return nil, err
+	}
+	cycle, _, err := net.EmbedRing(topology.NodeFaults(faults...))
+	return cycle, err
 }
 
 // HypercubeEdges returns the link count n·2ⁿ⁻¹ of Q_n, for the

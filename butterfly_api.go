@@ -4,21 +4,28 @@ import (
 	"fmt"
 
 	"debruijnring/internal/butterfly"
+	"debruijnring/topology"
 )
 
 // Butterfly is the d-ary wrapped butterfly network F(d,n) with n·dⁿ
 // processors at n levels (§3.4).  Its nodes are coded level·dⁿ + column.
+// It is a thin wrapper over the topology.Butterfly adapter.
 type Butterfly struct {
-	b *butterfly.Graph
+	b   *butterfly.Graph
+	net *topology.Butterfly
 }
 
 // NewButterfly returns F(d,n).
 func NewButterfly(d, n int) (*Butterfly, error) {
-	if d < 2 || n < 1 {
+	net, err := topology.NewButterfly(d, n)
+	if err != nil {
 		return nil, fmt.Errorf("debruijnring: invalid butterfly dimensions d=%d, n=%d", d, n)
 	}
-	return &Butterfly{b: butterfly.New(d, n)}, nil
+	return &Butterfly{b: net.Graph(), net: net}, nil
 }
+
+// Network returns the topology-generic adapter for this network.
+func (f *Butterfly) Network() *topology.Butterfly { return f.net }
 
 // Nodes returns the processor count n·dⁿ.
 func (f *Butterfly) Nodes() int { return f.b.Size }
@@ -36,11 +43,7 @@ func (f *Butterfly) Label(node int) string { return f.b.String(node) }
 // given faulty links, tolerating up to MaxTolerableEdgeFaults(d) failures
 // (Proposition 3.5).  Requires gcd(d,n) = 1.
 func (f *Butterfly) EmbedRingEdgeFaults(faults []Edge) (*Ring, error) {
-	pairs := make([][2]int, len(faults))
-	for i, e := range faults {
-		pairs[i] = [2]int{e.From, e.To}
-	}
-	cycle, err := f.b.FaultFreeHC(pairs)
+	cycle, _, err := f.net.EmbedRing(topology.EdgeFaults(faults...))
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +53,7 @@ func (f *Butterfly) EmbedRingEdgeFaults(faults []Edge) (*Ring, error) {
 // DisjointHamiltonianCycles returns ψ(d) pairwise edge-disjoint
 // Hamiltonian rings of F(d,n) (Proposition 3.6).  Requires gcd(d,n) = 1.
 func (f *Butterfly) DisjointHamiltonianCycles() ([]*Ring, error) {
-	cycles, err := f.b.DisjointHCs()
+	cycles, err := f.net.DisjointCycles()
 	if err != nil {
 		return nil, err
 	}
@@ -62,19 +65,8 @@ func (f *Butterfly) DisjointHamiltonianCycles() ([]*Ring, error) {
 }
 
 // Verify reports whether the ring is a valid cycle of the butterfly that
-// avoids the given faulty links.
+// avoids the given faulty links.  It is the shared topology.VerifyRing
+// codepath specialized to link faults.
 func (f *Butterfly) Verify(r *Ring, faults []Edge) bool {
-	if r == nil || !f.b.IsCycle(r.Nodes) {
-		return false
-	}
-	bad := make(map[Edge]bool, len(faults))
-	for _, e := range faults {
-		bad[e] = true
-	}
-	for i, v := range r.Nodes {
-		if bad[Edge{From: v, To: r.Nodes[(i+1)%len(r.Nodes)]}] {
-			return false
-		}
-	}
-	return true
+	return r != nil && topology.VerifyRing(f.net, r.Nodes, topology.EdgeFaults(faults...))
 }

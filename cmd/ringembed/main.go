@@ -1,11 +1,19 @@
 // Command ringembed embeds a fault-free ring in a De Bruijn network with
-// failed processors or links.
+// failed processors or links, or batches embedding requests across every
+// supported topology through the concurrent engine.
 //
 // Usage:
 //
 //	ringembed -d 3 -n 3 -faults 020,112            # node faults (Chapter 2)
 //	ringembed -d 3 -n 3 -faults 020,112 -dist      # distributed run with round counts
 //	ringembed -d 5 -n 2 -edgefaults 01-12,14-40    # link faults (Chapter 3)
+//	ringembed -batch requests.jsonl -workers 8     # batch mode over the engine
+//
+// Batch input is JSON lines ("-" reads stdin), one request per line:
+//
+//	{"topology":"debruijn(3,3)","node_faults":["020","112"]}
+//	{"topology":"hypercube(12)","node_faults":["000000000111"]}
+//	{"topology":"butterfly(3,2)","edge_faults":[{"from":"(0,00)","to":"(1,00)"}]}
 package main
 
 import (
@@ -24,7 +32,16 @@ func main() {
 	edgeFaults := flag.String("edgefaults", "", "comma-separated faulty links, from-to")
 	dist := flag.Bool("dist", false, "run the distributed (network-level) algorithm")
 	quiet := flag.Bool("quiet", false, "suppress the ring listing")
+	batch := flag.String("batch", "", "batch mode: JSON-lines request file, or - for stdin")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *batch != "" {
+		if err := runBatch(*batch, *workers, *quiet); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	g, err := debruijnring.New(*d, *n)
 	if err != nil {

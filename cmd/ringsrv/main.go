@@ -1,0 +1,69 @@
+// Command ringsrv serves fault-tolerant ring embedding over HTTP/JSON:
+// the concurrent, memoizing engine of package engine fronted by four
+// endpoints, for any topology the Network interface covers.
+//
+//	POST /v1/embed            {"topology":"debruijn(3,3)","node_faults":["020","112"]}
+//	POST /v1/verify           {"topology":"...", "ring":[...], "node_faults":[...], "edge_faults":[...]}
+//	POST /v1/disjoint-cycles  {"topology":"debruijn(4,3)","max_cycles":2}
+//	POST /v1/broadcast        {"topology":"debruijn(4,2)","message_size":12,"rings":3}
+//	GET  /v1/stats            engine cache counters
+//	GET  /healthz
+//
+// Usage:
+//
+//	ringsrv -addr :8080 -workers 8 -cache 1024
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"debruijnring/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "embedding worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "LRU entries memoized per (topology, fault set); negative disables")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ringsrv: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ringsrv:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("ringsrv: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "ringsrv: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"debruijnring/engine"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(engine.New(engine.Options{})))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string, dst any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestEmbedEndpointAndCache(t *testing.T) {
+	ts := newTestServer(t)
+	var out embedResponse
+	code := postJSON(t, ts.URL+"/v1/embed",
+		`{"topology":"debruijn(3,3)","node_faults":["020","112"]}`, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Ring) != 21 || out.Stats.RingLength != 21 || out.Stats.LowerBound != 21 {
+		t.Errorf("response = %+v", out.Stats)
+	}
+	if out.Stats.CacheHit {
+		t.Error("first request hit the cache")
+	}
+	for _, label := range out.Ring {
+		if label == "020" || label == "112" {
+			t.Error("ring contains a faulty processor")
+		}
+	}
+	// Same faults, reversed order: served from cache.
+	code = postJSON(t, ts.URL+"/v1/embed",
+		`{"topology":"debruijn(3,3)","node_faults":["112","020"]}`, &out)
+	if code != http.StatusOK || !out.Stats.CacheHit {
+		t.Errorf("repeat: status %d, cache hit %v", code, out.Stats.CacheHit)
+	}
+
+	var stats engine.CacheStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestEmbedEndpointEdgeFaultsAndErrors(t *testing.T) {
+	ts := newTestServer(t)
+	var out embedResponse
+	code := postJSON(t, ts.URL+"/v1/embed",
+		`{"topology":"butterfly(3,2)","edge_faults":[{"from":"(0,00)","to":"(1,00)"}]}`, &out)
+	if code != http.StatusOK || out.Stats.RingLength != 18 {
+		t.Errorf("butterfly embed: status %d, stats %+v", code, out.Stats)
+	}
+	// Unsupported fault class → 422 with an error payload.
+	var em map[string]string
+	code = postJSON(t, ts.URL+"/v1/embed",
+		`{"topology":"butterfly(3,2)","node_faults":["(0,00)"]}`, &em)
+	if code != http.StatusUnprocessableEntity || em["error"] == "" {
+		t.Errorf("status %d, body %v", code, em)
+	}
+	// Bad topology and bad label → 400.
+	if code := postJSON(t, ts.URL+"/v1/embed", `{"topology":"tube(9)"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad topology: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/embed",
+		`{"topology":"debruijn(3,3)","node_faults":["999"]}`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad label: status %d", code)
+	}
+	// Unknown fields and broken JSON → 400.
+	if code := postJSON(t, ts.URL+"/v1/embed", `{"topolgy":"debruijn(3,3)"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/embed", `{`, nil); code != http.StatusBadRequest {
+		t.Errorf("broken JSON: status %d", code)
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var emb embedResponse
+	postJSON(t, ts.URL+"/v1/embed", `{"topology":"debruijn(3,3)","node_faults":["020"]}`, &emb)
+
+	body, _ := json.Marshal(map[string]any{
+		"topology":    "debruijn(3,3)",
+		"node_faults": []string{"020"},
+		"ring":        emb.Ring,
+	})
+	var ver verifyResponse
+	if code := postJSON(t, ts.URL+"/v1/verify", string(body), &ver); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !ver.Valid {
+		t.Error("embedded ring did not verify")
+	}
+	// The same ring against a fault it traverses is invalid.
+	body, _ = json.Marshal(map[string]any{
+		"topology":    "debruijn(3,3)",
+		"node_faults": []string{emb.Ring[0]},
+		"ring":        emb.Ring,
+	})
+	postJSON(t, ts.URL+"/v1/verify", string(body), &ver)
+	if ver.Valid {
+		t.Error("ring through faulty processor verified")
+	}
+	// A fault-free full embedding is Hamiltonian.
+	postJSON(t, ts.URL+"/v1/embed", `{"topology":"debruijn(3,3)"}`, &emb)
+	body, _ = json.Marshal(map[string]any{"topology": "debruijn(3,3)", "ring": emb.Ring})
+	postJSON(t, ts.URL+"/v1/verify", string(body), &ver)
+	if !ver.Valid || !ver.Hamiltonian {
+		t.Errorf("full ring: %+v", ver)
+	}
+}
+
+func TestDisjointCyclesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out disjointCyclesResponse
+	code := postJSON(t, ts.URL+"/v1/disjoint-cycles",
+		`{"topology":"debruijn(4,2)","max_cycles":2}`, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Count != 3 || out.Length != 16 || len(out.Cycles) != 2 {
+		t.Errorf("response = count %d, length %d, %d cycles", out.Count, out.Length, len(out.Cycles))
+	}
+	// Shuffle-exchange carries no Hamiltonian family → 422.
+	if code := postJSON(t, ts.URL+"/v1/disjoint-cycles",
+		`{"topology":"shuffleexchange(3,3)"}`, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("SE: status %d", code)
+	}
+}
+
+func TestBroadcastEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var single, multi broadcastResponse
+	if code := postJSON(t, ts.URL+"/v1/broadcast",
+		`{"topology":"debruijn(4,2)","message_size":12,"rings":1}`, &single); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/broadcast",
+		`{"topology":"debruijn(4,2)","message_size":12}`, &multi); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if multi.Rings != 3 || multi.TimeUnits*3 != single.TimeUnits {
+		t.Errorf("expected 3× speedup: single %+v, multi %+v", single, multi)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}

@@ -17,10 +17,45 @@
 //     failures — optimal (d−2) for prime-power d.  See
 //     Graph.DisjointHamiltonianCycles and Graph.EmbedRingEdgeFaults.
 //
-// The same machinery transfers to wrapped butterfly networks when
-// gcd(d,n) = 1 (§3.4, see Butterfly) and powers the necklace-counting
-// formulas of Chapter 4 (NecklaceCount and friends).  A hypercube baseline
-// (HypercubeRing) reproduces the paper's comparison against [WC92, CL91a].
+// # The topology-generic surface
+//
+// The machinery transfers beyond B(d,n) — to wrapped butterflies when
+// gcd(d,n) = 1 (§3.4), shuffle-exchange networks (dilation 2), Kautz
+// graphs (Chapter 5, measured exhaustively) and the hypercube baseline
+// ([WC92, CL91a]).  The topology subpackage abstracts all of them behind
+// one Network interface with a unified FaultSet covering processor and
+// link failures together:
+//
+//	net, _ := topology.FromSpec("debruijn(4,6)")   // or kautz(2,4),
+//	// shuffleexchange(3,3), butterfly(3,4), hypercube(12), …
+//	ring, info, _ := net.EmbedRing(topology.FaultSet{Nodes: []int{7, 77}})
+//	ok := topology.VerifyRing(net, ring, topology.NodeFaults(7, 77))
+//
+// A FaultSet holds failed processors (Nodes) and failed links (Edges)
+// at once.  Each topology dispatches the classes it supports: De Bruijn
+// serves node faults (FFC), link faults (§3 Hamiltonian families) and —
+// best-effort — mixed sets; shuffle-exchange and hypercube serve node
+// faults; butterfly and Kautz serve link faults.  Canonicalization
+// (FaultSet.Key) makes fault sets order- and duplicate-insensitive, and
+// topology.VerifyRing / VerifyHamiltonian are the single shared
+// verification codepath for every topology.
+//
+// The engine subpackage serves these requests at scale: a concurrent
+// embedding engine with an LRU cache keyed by (topology, canonical fault
+// set), in-flight deduplication, batched execution across a worker pool
+// and per-request statistics:
+//
+//	eng := engine.New(engine.Options{})
+//	res, _ := eng.EmbedRing(ctx, engine.Request{
+//		Spec:   "debruijn(4,6)",
+//		Faults: topology.NodeFaults(7, 77),
+//	})
+//	// res.Stats: cache hit, ring length vs. the dⁿ − nf bound,
+//	// broadcast rounds, dilation, elapsed time.
+//
+// Command ringsrv exposes the engine as an HTTP/JSON service (embed,
+// verify, disjoint-cycles, broadcast-simulation endpoints); command
+// ringembed adds a -batch mode over JSON-lines request files.
 //
 // # Quick start
 //
@@ -29,6 +64,12 @@
 //	// ring.Nodes is a cycle over the surviving processors,
 //	// len(ring.Nodes) ≥ 4096 − 6·2 = 4084.
 //
-// All embeddings have unit dilation and congestion: returned rings are
-// subgraphs of the (faulty) network.
+// The concrete types remain thin wrappers over the adapters —
+// Graph.Network() and Butterfly.Network() expose the topology-generic
+// view — and the necklace-counting formulas of Chapter 4 stay on this
+// package (NecklaceCount and friends).
+//
+// All unit-dilation embeddings return rings that are subgraphs of the
+// (faulty) network; the shuffle-exchange transfer has dilation 2 with
+// congestion 1 per directed channel.
 package debruijnring

@@ -1,15 +1,14 @@
 package debruijnring
 
 import (
-	"fmt"
-
 	"debruijnring/internal/hamilton"
+	"debruijnring/topology"
 )
 
-// Edge is a directed network link from one processor to another.
-type Edge struct {
-	From, To int
-}
+// Edge is a directed network link from one processor to another.  It is
+// the unified topology.Edge, so fault sets move freely between this
+// package, the adapters and the engine.
+type Edge = topology.Edge
 
 // Psi returns ψ(d), the guaranteed number of pairwise edge-disjoint
 // Hamiltonian cycles of B(d,n) for n ≥ 2 (Table 3.1).  ψ(d) = d−1 when d
@@ -42,47 +41,21 @@ func (g *Graph) DisjointHamiltonianCycles() ([]*Ring, error) {
 
 // EmbedRingEdgeFaults finds a Hamiltonian ring avoiding the given faulty
 // links.  It succeeds for any fault set of size at most
-// MaxTolerableEdgeFaults(d) (Proposition 3.4) and requires n ≥ 2.
+// MaxTolerableEdgeFaults(d) (Proposition 3.4) and requires n ≥ 2.  It is
+// the topology-generic adapter's edge-fault codepath.
 func (g *Graph) EmbedRingEdgeFaults(faults []Edge) (*Ring, error) {
-	windows := make([][]int, 0, len(faults))
-	for _, e := range faults {
-		if err := g.checkNodes([]int{e.From, e.To}); err != nil {
-			return nil, err
-		}
-		if !g.g.IsEdge(e.From, e.To) {
-			return nil, fmt.Errorf("debruijnring: (%s,%s) is not a network link",
-				g.Label(e.From), g.Label(e.To))
-		}
-		w := make([]int, g.n+1)
-		for i := 1; i <= g.n; i++ {
-			w[i-1] = g.g.Digit(e.From, i)
-		}
-		w[g.n] = g.g.Digit(e.To, g.n)
-		windows = append(windows, w)
-	}
-	seq, err := hamilton.FaultFreeHC(g.d, g.n, windows)
+	cycle, _, err := g.net.EmbedRing(topology.EdgeFaults(faults...))
 	if err != nil {
 		return nil, err
 	}
-	return &Ring{Nodes: g.g.NodesOfSequence(seq)}, nil
+	return &Ring{Nodes: cycle}, nil
 }
 
 // VerifyEdgeAvoidance reports whether the ring is a Hamiltonian cycle of
-// the network using none of the given links.
+// the network using none of the given links.  It is the shared
+// topology.VerifyHamiltonian codepath specialized to link faults.
 func (g *Graph) VerifyEdgeAvoidance(r *Ring, faults []Edge) bool {
-	if r == nil || !g.g.IsHamiltonian(r.Nodes) {
-		return false
-	}
-	bad := make(map[Edge]bool, len(faults))
-	for _, e := range faults {
-		bad[e] = true
-	}
-	for i, v := range r.Nodes {
-		if bad[Edge{From: v, To: r.Nodes[(i+1)%len(r.Nodes)]}] {
-			return false
-		}
-	}
-	return true
+	return r != nil && topology.VerifyHamiltonian(g.net, r.Nodes, topology.EdgeFaults(faults...))
 }
 
 // DeBruijnSequence returns the digit sequence of a Hamiltonian ring — a

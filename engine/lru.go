@@ -1,0 +1,61 @@
+package engine
+
+import "container/list"
+
+// lruCache is a non-thread-safe LRU over embedding results; the Engine
+// serializes access under its mutex.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	ring []int
+	info topologyInfo
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*lruEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry), true
+}
+
+func (c *lruCache) add(key string, ring []int, info topologyInfo) (evicted bool) {
+	if c == nil || c.capacity <= 0 {
+		return false
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*lruEntry)
+		ent.ring, ent.info = ring, info
+		return false
+	}
+	el := c.ll.PushFront(&lruEntry{key: key, ring: ring, info: info})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		return true
+	}
+	return false
+}
+
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.ll.Len()
+}

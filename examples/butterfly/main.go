@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"debruijnring"
+	"debruijnring/engine"
+	"debruijnring/topology"
 )
 
 func main() {
@@ -33,15 +36,21 @@ func main() {
 		f.Label(rings[0].Nodes[0]), f.Label(rings[0].Nodes[1]),
 		f.Label(rings[0].Nodes[2]), f.Label(rings[0].Nodes[3]))
 
-	// Fail one link of ring 0 and re-embed.
+	// Fail one link of ring 0 and re-embed, through the same engine
+	// codepath that serves every other topology.
 	bad := debruijnring.Edge{From: rings[0].Nodes[10], To: rings[0].Nodes[11]}
 	fmt.Printf("failing link %s → %s\n", f.Label(bad.From), f.Label(bad.To))
-	ring, err := f.EmbedRingEdgeFaults([]debruijnring.Edge{bad})
+	eng := engine.New(engine.Options{})
+	res, err := eng.EmbedRing(context.Background(), engine.Request{
+		Network: f.Network(),
+		Faults:  topology.EdgeFaults(bad),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !f.Verify(ring, []debruijnring.Edge{bad}) {
+	if !topology.VerifyHamiltonian(f.Network(), res.Ring, topology.EdgeFaults(bad)) {
 		log.Fatal("verification failed")
 	}
-	fmt.Printf("re-embedded a Hamiltonian ring of %d processors avoiding the failed link\n", ring.Len())
+	fmt.Printf("re-embedded a Hamiltonian ring of %d processors avoiding the failed link\n",
+		res.Stats.RingLength)
 }

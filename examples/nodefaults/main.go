@@ -1,18 +1,25 @@
-// Node-fault scenario at scale: the paper's Chapter 2 comparison.
+// Node-fault scenario at scale: the paper's Chapter 2 comparison, served
+// as one concurrent batch through the topology-generic engine.
 //
-// A 4096-processor De Bruijn network B(4,6) loses two processors.  The
-// distributed FFC algorithm re-forms a ring of ≥ 4084 machines in Θ(n)
-// communication rounds.  The same failure count in a 4096-node hypercube —
-// which spends 50% more links — yields a ring of 4092 by the cited
-// [WC92, CL91a] construction, which this repository also implements.
+// A 4096-processor De Bruijn network B(4,6) loses two processors; the
+// FFC algorithm re-forms a ring of ≥ 4084 machines.  The same failure
+// count in a 4096-node hypercube — which spends 50% more links — yields
+// a ring of 4092 by the cited [WC92, CL91a] construction, and the
+// shuffle-exchange network SE(4,6) carries the De Bruijn ring with
+// dilation 2.  All three requests flow through the single EmbedRing
+// codepath of the Network interface; the duplicated De Bruijn request
+// is answered from the cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 
 	"debruijnring"
+	"debruijnring/engine"
+	"debruijnring/topology"
 )
 
 func main() {
@@ -21,33 +28,37 @@ func main() {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewPCG(1991, 12))
-	faults := []int{rng.IntN(g.Nodes()), rng.IntN(g.Nodes())}
+	faults := topology.NodeFaults(rng.IntN(g.Nodes()), rng.IntN(g.Nodes()))
 	fmt.Printf("B(4,6): %d processors, %d links; failing %s and %s\n",
-		g.Nodes(), g.Edges(), g.Label(faults[0]), g.Label(faults[1]))
+		g.Nodes(), g.Edges(), g.Label(faults.Nodes[0]), g.Label(faults.Nodes[1]))
 
-	// Centralized embedding with its guarantee.
-	ring, stats, err := g.EmbedRing(faults)
-	if err != nil {
-		log.Fatal(err)
+	// One batch, three topologies, one codepath — plus a repeat of the
+	// De Bruijn request to show the cache at work.
+	eng := engine.New(engine.Options{})
+	results := eng.EmbedBatch(context.Background(), []engine.Request{
+		{Network: g.Network(), Faults: faults},
+		{Spec: "hypercube(12)", Faults: faults},
+		{Spec: "shuffleexchange(4,6)", Faults: faults},
+		{Network: g.Network(), Faults: faults},
+	})
+	for _, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		s := res.Stats
+		fmt.Printf("%-22s ring %4d (bound %4d, dilation %d, cache hit %v)\n",
+			s.Topology+":", s.RingLength, s.LowerBound, s.Dilation, s.CacheHit)
 	}
-	fmt.Printf("De Bruijn ring: %d processors (bound dⁿ−nf = %d, lost %d to faulty necklaces)\n",
-		ring.Len(), stats.LowerBound, stats.FaultyNecklaceNodes)
 
-	// The same embedding computed by the network itself.
-	_, dstats, err := g.EmbedRingDistributed(faults)
+	// The distributed run: the same embedding computed by the network
+	// itself in Θ(n) synchronous rounds.
+	_, dstats, err := g.EmbedRingDistributed(faults.Nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("distributed run: %d synchronous rounds (%d of them broadcast), %d messages\n",
 		dstats.Rounds, dstats.BroadcastRound, dstats.Messages)
 
-	// Hypercube baseline on the same failure count.
-	hc, err := debruijnring.HypercubeRing(12, faults)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("hypercube Q_12 baseline: ring of %d processors using %d links (vs %d)\n",
-		len(hc), debruijnring.HypercubeEdges(12), g.Edges())
-	fmt.Printf("=> the De Bruijn network stays within %d processors of the hypercube\n",
-		len(hc)-ring.Len())
+	fmt.Printf("=> B(4,6) uses %d links against Q_12's %d for rings within %d processors of each other\n",
+		g.Edges(), debruijnring.HypercubeEdges(12), results[1].Stats.RingLength-results[0].Stats.RingLength)
 }

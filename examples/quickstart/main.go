@@ -1,49 +1,68 @@
-// Quickstart: embed a fault-free ring in a small De Bruijn network.
+// Quickstart: embed a fault-free ring through the topology-generic
+// engine.
 //
-// This walks the worked example of the paper (Example 2.1): processors 020
-// and 112 fail in the 27-node network B(3,3), and the remaining machines
-// are rewired into a 21-processor ring without any routing through dead
-// hardware.
+// This walks the worked example of the paper (Example 2.1): processors
+// 020 and 112 fail in the 27-node De Bruijn network B(3,3), and the
+// remaining machines are rewired into a 21-processor ring without any
+// routing through dead hardware.  The request goes through the same
+// Network-interface codepath that serves Kautz, shuffle-exchange,
+// butterfly and hypercube networks, so repeating it (here: the same
+// faults in a different order) is answered from the engine's cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"debruijnring"
+	"debruijnring/engine"
+	"debruijnring/topology"
 )
 
 func main() {
 	// A 3-ary De Bruijn network with 3³ = 27 processors.
-	g, err := debruijnring.New(3, 3)
+	net, err := topology.FromSpec("debruijn(3,3)")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("network B(3,3): %d processors, %d links\n", g.Nodes(), g.Edges())
+	fmt.Printf("network %s: %d processors\n", net.Name(), net.Nodes())
 
 	// Two processors fail.
-	a, _ := g.Node("020")
-	b, _ := g.Node("112")
-	faults := []int{a, b}
+	a, _ := net.Parse("020")
+	b, _ := net.Parse("112")
+	faults := topology.NodeFaults(a, b)
 
 	// Embed the ring.  With f ≤ d−2 failures the ring is guaranteed to
 	// reach at least dⁿ − n·f = 27 − 6 = 21 processors.
-	ring, stats, err := g.EmbedRing(faults)
+	eng := engine.New(engine.Options{})
+	res, err := eng.EmbedRing(context.Background(), engine.Request{Network: net, Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ring length %d (guaranteed ≥ %d), eccentricity %d\n",
-		ring.Len(), stats.LowerBound, stats.Eccentricity)
+	fmt.Printf("ring length %d (guaranteed ≥ %d), %d broadcast rounds\n",
+		res.Stats.RingLength, res.Stats.LowerBound, res.Stats.Rounds)
 
-	labels := make([]string, ring.Len())
-	for i, v := range ring.Nodes {
-		labels[i] = g.Label(v)
+	labels := make([]string, len(res.Ring))
+	for i, v := range res.Ring {
+		labels[i] = net.Label(v)
 	}
 	fmt.Println("ring:", strings.Join(labels, " → "))
 
-	if !g.Verify(ring, faults) {
+	// One shared verification codepath covers every topology.
+	if !topology.VerifyRing(net, res.Ring, faults) {
 		log.Fatal("verification failed")
 	}
 	fmt.Println("verified: every hop is a physical link, no faulty processor used")
+
+	// The same request again — same fault set, different order — is a
+	// cache hit keyed by (topology, canonicalized fault set).
+	again, err := eng.EmbedRing(context.Background(), engine.Request{
+		Network: net, Faults: topology.NodeFaults(b, a),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat request: cache hit = %v (%d hits, %d misses)\n",
+		again.Stats.CacheHit, eng.CacheStats().Hits, eng.CacheStats().Misses)
 }

@@ -1,0 +1,3 @@
+module debruijnring
+
+go 1.24

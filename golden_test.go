@@ -1,0 +1,167 @@
+package debruijnring
+
+import (
+	"testing"
+
+	"debruijnring/topology"
+)
+
+// The golden tests pin the new Network-interface codepath to the legacy
+// per-type methods: for each topology, EmbedRing through the adapter
+// must reproduce exactly what the original API returns.
+
+func TestGoldenDeBruijnNodeFaults(t *testing.T) {
+	g, _ := New(3, 3)
+	a, _ := g.Node("020")
+	b, _ := g.Node("112")
+
+	legacy, stats, err := g.EmbedRing([]int{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, info, err := g.Network().EmbedRing(topology.NodeFaults(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(legacy.Nodes, ring) {
+		t.Errorf("adapter ring differs from legacy:\n%v\n%v", legacy.Nodes, ring)
+	}
+	if info.RingLength != legacy.Len() || info.LowerBound != stats.LowerBound ||
+		info.Rounds != stats.Eccentricity || info.Survivors != stats.BStarSize {
+		t.Errorf("adapter info %+v vs legacy stats %+v", info, stats)
+	}
+}
+
+func TestGoldenDeBruijnEdgeFaults(t *testing.T) {
+	g, _ := New(5, 2)
+	u, _ := g.Node("01")
+	var faults []Edge
+	for _, v := range g.Neighbors(u) {
+		faults = append(faults, Edge{From: u, To: v})
+		if len(faults) == MaxTolerableEdgeFaults(5) {
+			break
+		}
+	}
+	legacy, err := g.EmbedRingEdgeFaults(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, info, err := g.Network().EmbedRing(topology.EdgeFaults(faults...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(legacy.Nodes, ring) {
+		t.Error("adapter edge-fault ring differs from legacy")
+	}
+	if info.LowerBound != g.Nodes() {
+		t.Errorf("within tolerance, bound should be Hamiltonian %d, got %d", g.Nodes(), info.LowerBound)
+	}
+}
+
+func TestGoldenButterflyEdgeFaults(t *testing.T) {
+	f, _ := NewButterfly(3, 2)
+	base, err := f.EmbedRingEdgeFaults(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Edge{From: base.Nodes[0], To: base.Nodes[1]}
+
+	legacy, err := f.EmbedRingEdgeFaults([]Edge{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, _, err := f.Network().EmbedRing(topology.EdgeFaults(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(legacy.Nodes, ring) {
+		t.Error("adapter butterfly ring differs from legacy")
+	}
+	if !topology.VerifyHamiltonian(f.Network(), ring, topology.EdgeFaults(bad)) {
+		t.Error("butterfly ring fails shared verification")
+	}
+}
+
+func TestGoldenHypercubeNodeFaults(t *testing.T) {
+	legacy, err := HypercubeRing(6, []int{7, 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := topology.NewHypercube(6)
+	ring, info, err := net.EmbedRing(topology.NodeFaults(7, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(legacy, ring) {
+		t.Error("adapter hypercube ring differs from legacy")
+	}
+	if info.LowerBound != 64-4 {
+		t.Errorf("bound = %d, want 60", info.LowerBound)
+	}
+	if !topology.VerifyRing(net, ring, topology.NodeFaults(7, 56)) {
+		t.Error("hypercube ring fails shared verification")
+	}
+}
+
+func TestGoldenShuffleExchangeNodeFaults(t *testing.T) {
+	g, _ := New(3, 3)
+	a, _ := g.Node("020")
+	legacy, err := EmbedRingShuffleExchange(3, 3, []int{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := topology.NewShuffleExchange(3, 3)
+	walk, info, err := net.EmbedRing(topology.NodeFaults(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(legacy.Walk, walk) {
+		t.Error("adapter SE walk differs from legacy")
+	}
+	if info.Dilation != legacy.Dilation() {
+		t.Errorf("dilation %d vs legacy %d", info.Dilation, legacy.Dilation())
+	}
+}
+
+// TestGoldenVerifyAgreesWithLegacy cross-checks the shared verification
+// helper against the legacy per-type Verify methods on both valid and
+// corrupted rings.
+func TestGoldenVerifyAgreesWithLegacy(t *testing.T) {
+	g, _ := New(3, 3)
+	a, _ := g.Node("020")
+	ring, _, err := g.EmbedRing([]int{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ring   *Ring
+		faults []int
+	}{
+		{ring, []int{a}},
+		{ring, []int{ring.Nodes[0]}},             // fault on the ring
+		{&Ring{Nodes: []int{0, 1}}, nil},         // not a cycle
+		{&Ring{Nodes: ring.Nodes[:5]}, []int{a}}, // broken wrap-around
+		{nil, nil},                               // nil ring
+	}
+	for i, tc := range cases {
+		var generic bool
+		if tc.ring != nil {
+			generic = topology.VerifyRing(g.Network(), tc.ring.Nodes, topology.NodeFaults(tc.faults...))
+		}
+		if legacy := g.Verify(tc.ring, tc.faults); legacy != generic {
+			t.Errorf("case %d: legacy Verify = %v, shared VerifyRing = %v", i, legacy, generic)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

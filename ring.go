@@ -5,21 +5,32 @@ import (
 
 	"debruijnring/internal/debruijn"
 	"debruijnring/internal/ffc"
+	"debruijnring/topology"
 )
 
-// Graph is a d-ary De Bruijn network B(d,n) with dⁿ processors.
+// Graph is a d-ary De Bruijn network B(d,n) with dⁿ processors.  It is a
+// thin wrapper over the topology.DeBruijn adapter; Network exposes the
+// adapter for use with the topology-generic engine and verification
+// helpers.
 type Graph struct {
 	d, n int
 	g    *debruijn.Graph
+	net  *topology.DeBruijn
 }
 
 // New returns B(d,n).  d must be at least 2 and n at least 1.
 func New(d, n int) (*Graph, error) {
-	if d < 2 || n < 1 {
+	net, err := topology.NewDeBruijn(d, n)
+	if err != nil {
 		return nil, fmt.Errorf("debruijnring: invalid dimensions d=%d, n=%d", d, n)
 	}
-	return &Graph{d: d, n: n, g: debruijn.New(d, n)}, nil
+	return &Graph{d: d, n: n, g: net.Graph(), net: net}, nil
 }
+
+// Network returns the topology-generic adapter for this network,
+// implementing topology.Network, topology.RingEmbedder and
+// topology.CycleFamily.
+func (g *Graph) Network() *topology.DeBruijn { return g.net }
 
 // D returns the arity (alphabet size) d.
 func (g *Graph) D() int { return g.d }
@@ -125,21 +136,22 @@ func (g *Graph) RouteAround(from, to int, faults []int) ([]int, error) {
 }
 
 // Verify reports whether the ring is a valid cycle of this network that
-// avoids the given faulty nodes.
+// avoids the given faulty nodes.  It is the shared topology.VerifyRing
+// codepath specialized to node faults.
 func (g *Graph) Verify(r *Ring, faults []int) bool {
-	if r == nil || !g.g.IsCycle(r.Nodes) {
-		return false
+	return r != nil && topology.VerifyRing(g.net, r.Nodes, topology.NodeFaults(faults...))
+}
+
+// EmbedRingFaults embeds a ring around a unified fault set through the
+// topology-generic adapter: node-only sets run the Chapter 2 FFC
+// algorithm, edge-only sets the Chapter 3 Hamiltonian construction; see
+// topology.DeBruijn.EmbedRing for the mixed-set semantics.
+func (g *Graph) EmbedRingFaults(f topology.FaultSet) (*Ring, *topology.EmbedInfo, error) {
+	cycle, info, err := g.net.EmbedRing(f)
+	if err != nil {
+		return nil, nil, err
 	}
-	bad := make(map[int]bool, len(faults))
-	for _, f := range faults {
-		bad[f] = true
-	}
-	for _, v := range r.Nodes {
-		if bad[v] {
-			return false
-		}
-	}
-	return true
+	return &Ring{Nodes: cycle}, info, nil
 }
 
 func (g *Graph) checkNodes(nodes []int) error {

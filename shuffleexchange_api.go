@@ -1,7 +1,7 @@
 package debruijnring
 
 import (
-	"debruijnring/internal/shuffleexchange"
+	"debruijnring/topology"
 )
 
 // ShuffleExchangeRing is a fault-free ring carried into the shuffle-
@@ -25,11 +25,16 @@ func (r *ShuffleExchangeRing) Dilation() int {
 // shuffle-exchange network SE(d,n): every De Bruijn hop factors as a
 // shuffle followed by an exchange, giving an embedding with dilation ≤ 2
 // and congestion 1 per directed channel that stays clear of faulty
-// necklaces (the intermediates are rotations of ring processors).
+// necklaces (the intermediates are rotations of ring processors).  It is
+// the topology.ShuffleExchange adapter's embedding.
 func EmbedRingShuffleExchange(d, n int, faults []int) (*ShuffleExchangeRing, error) {
-	emb, err := shuffleexchange.EmbedRing(d, n, faults)
+	net, err := topology.NewShuffleExchange(d, n)
 	if err != nil {
 		return nil, err
 	}
-	return &ShuffleExchangeRing{Ring: emb.Ring, Walk: emb.Walk}, nil
+	ring, walk, err := net.EmbedWalk(faults)
+	if err != nil {
+		return nil, err
+	}
+	return &ShuffleExchangeRing{Ring: ring, Walk: walk}, nil
 }

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed network link from one processor to another.
+type Edge struct {
+	From, To int
+}
+
+// FaultSet is a unified description of failed components: processors
+// (Nodes) and links (Edges) together, replacing the ad-hoc []int / []Edge
+// split of the original per-topology APIs.  The zero value is the empty
+// fault set.  FaultSet values are treated as immutable by this package.
+type FaultSet struct {
+	Nodes []int
+	Edges []Edge
+}
+
+// NodeFaults returns a fault set of failed processors.
+func NodeFaults(nodes ...int) FaultSet { return FaultSet{Nodes: nodes} }
+
+// EdgeFaults returns a fault set of failed links.
+func EdgeFaults(edges ...Edge) FaultSet { return FaultSet{Edges: edges} }
+
+// IsEmpty reports whether no component has failed.
+func (f FaultSet) IsEmpty() bool { return len(f.Nodes) == 0 && len(f.Edges) == 0 }
+
+// Canonical returns a copy with nodes and edges sorted and deduplicated.
+// Two fault sets describing the same failures canonicalize identically.
+func (f FaultSet) Canonical() FaultSet {
+	var out FaultSet
+	if len(f.Nodes) > 0 {
+		out.Nodes = append([]int(nil), f.Nodes...)
+		sort.Ints(out.Nodes)
+		out.Nodes = dedupInts(out.Nodes)
+	}
+	if len(f.Edges) > 0 {
+		out.Edges = append([]Edge(nil), f.Edges...)
+		sort.Slice(out.Edges, func(i, j int) bool {
+			if out.Edges[i].From != out.Edges[j].From {
+				return out.Edges[i].From < out.Edges[j].From
+			}
+			return out.Edges[i].To < out.Edges[j].To
+		})
+		out.Edges = dedupEdges(out.Edges)
+	}
+	return out
+}
+
+// Key renders the canonicalized fault set as a deterministic string,
+// suitable for memoization keyed by (topology, fault set).
+func (f FaultSet) Key() string {
+	c := f.Canonical()
+	var b strings.Builder
+	b.WriteString("n:")
+	for i, v := range c.Nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString(";e:")
+	for i, e := range c.Edges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e.From, e.To)
+	}
+	return b.String()
+}
+
+// NodeSet returns the failed processors as a membership map.
+func (f FaultSet) NodeSet() map[int]bool {
+	m := make(map[int]bool, len(f.Nodes))
+	for _, v := range f.Nodes {
+		m[v] = true
+	}
+	return m
+}
+
+// EdgeSet returns the failed links as a membership map.
+func (f FaultSet) EdgeSet() map[Edge]bool {
+	m := make(map[Edge]bool, len(f.Edges))
+	for _, e := range f.Edges {
+		m[e] = true
+	}
+	return m
+}
+
+// Validate checks every fault against the network: node ids in range and
+// edge faults actual network links.
+func (f FaultSet) Validate(net Network) error {
+	size := net.Nodes()
+	for _, v := range f.Nodes {
+		if v < 0 || v >= size {
+			return fmt.Errorf("topology: faulty node %d out of range [0,%d) in %s", v, size, net.Name())
+		}
+	}
+	for _, e := range f.Edges {
+		if e.From < 0 || e.From >= size || e.To < 0 || e.To >= size {
+			return fmt.Errorf("topology: faulty link (%d,%d) out of range in %s", e.From, e.To, net.Name())
+		}
+		if !net.IsEdge(e.From, e.To) {
+			return fmt.Errorf("topology: (%s,%s) is not a link of %s",
+				net.Label(e.From), net.Label(e.To), net.Name())
+		}
+	}
+	return nil
+}
+
+// ParseFaults resolves processor labels and labeled links into a
+// FaultSet — the shared front-end codepath for the HTTP service and the
+// batch CLI.
+func ParseFaults(net Network, nodeLabels []string, edgeLabels [][2]string) (FaultSet, error) {
+	var fs FaultSet
+	for _, label := range nodeLabels {
+		v, err := net.Parse(label)
+		if err != nil {
+			return FaultSet{}, err
+		}
+		fs.Nodes = append(fs.Nodes, v)
+	}
+	for _, e := range edgeLabels {
+		from, err := net.Parse(e[0])
+		if err != nil {
+			return FaultSet{}, err
+		}
+		to, err := net.Parse(e[1])
+		if err != nil {
+			return FaultSet{}, err
+		}
+		fs.Edges = append(fs.Edges, Edge{From: from, To: to})
+	}
+	return fs, nil
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupEdges(s []Edge) []Edge {
+	out := s[:0]
+	for i, e := range s {
+		if i == 0 || e != s[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxWordSize mirrors word.MaxSize: the largest dⁿ⁺¹ the tuple
+// arithmetic supports.  Constructors check it so that specs arriving
+// from untrusted input (HTTP, batch files) fail with an error instead
+// of tripping the word package's panic.
+const maxWordSize = 1 << 40
+
+// maxMaterializedNodes bounds topologies that build their node set
+// eagerly in memory (Kautz).
+const maxMaterializedNodes = 1 << 22
+
+// powFits reports whether base^exp stays within limit without
+// overflowing.
+func powFits(base, exp, limit int) bool {
+	v := 1
+	for i := 0; i < exp; i++ {
+		if v > limit/base {
+			return false
+		}
+		v *= base
+	}
+	return true
+}
+
+// FromSpec constructs a network from a compact textual spec — the form
+// used by the HTTP service and batch front-ends:
+//
+//	debruijn(3,3)   de Bruijn B(d,n)        aliases: db, b
+//	kautz(2,3)      Kautz K(d,n)            alias:   k
+//	shuffleexchange(3,3)  SE(d,n)           alias:   se
+//	butterfly(2,3)  wrapped butterfly F(d,n)  aliases: bf, f
+//	hypercube(12)   binary cube Q_n         aliases: cube, q
+//
+// Whitespace is ignored and names are case-insensitive.
+func FromSpec(spec string) (RingEmbedder, error) {
+	s := strings.ToLower(strings.Join(strings.Fields(spec), ""))
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("topology: bad spec %q (want name(args))", spec)
+	}
+	name := s[:open]
+	var args []int
+	for _, tok := range strings.Split(s[open+1:len(s)-1], ",") {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad argument %q in spec %q", tok, spec)
+		}
+		args = append(args, v)
+	}
+	want := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("topology: spec %q wants %d argument(s), got %d", spec, k, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "debruijn", "db", "b":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return NewDeBruijn(args[0], args[1])
+	case "kautz", "k":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return NewKautz(args[0], args[1])
+	case "shuffleexchange", "se":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return NewShuffleExchange(args[0], args[1])
+	case "butterfly", "bf", "f":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return NewButterfly(args[0], args[1])
+	case "hypercube", "cube", "q":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return NewHypercube(args[0])
+	}
+	return nil, fmt.Errorf("topology: unknown topology %q in spec %q", name, spec)
+}
