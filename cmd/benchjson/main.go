@@ -1,0 +1,143 @@
+// Command benchjson runs `go test -bench` and renders the results as
+// machine-readable JSON, the regression artifact behind the BENCH_*.json
+// files checked in at the repo root and emitted by the CI bench smoke job.
+//
+// Usage:
+//
+//	benchjson                                  # Table 2.1/2.2 benchmarks → stdout
+//	benchjson -bench 'Table21|Table22' -benchtime 5x -label dense -out BENCH_dense.json
+//	benchjson -pkg ./... -bench . -count 3
+//
+// The output records, per benchmark, iterations, ns/op, B/op, allocs/op
+// and MB/s when reported, plus the environment header (goos, goarch, cpu)
+// so two artifacts can be compared meaningfully.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the full JSON artifact.
+type Report struct {
+	Label      string      `json:"label,omitempty"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"package,omitempty"`
+	Bench      string      `json:"bench"`
+	Benchtime  string      `json:"benchtime,omitempty"`
+	Count      int         `json:"count"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkTable21-8   3   34624236 ns/op   9878968 B/op   11386 allocs/op
+//	BenchmarkCopy        5   1234 ns/op       812.44 MB/s
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", "Table21|Table22", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x, 5x, 2s); empty = default")
+	count := flag.Int("count", 1, "go test -count value")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	out := flag.String("out", "", "output file (empty = stdout)")
+	label := flag.String("label", "", "free-form label recorded in the artifact (e.g. baseline, dense)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n%s", strings.Join(args, " "), err, buf.String())
+		os.Exit(1)
+	}
+
+	report := Report{
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Package:   *pkg,
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Count:     *count,
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			report.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.MBPerS, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in %s\n", *bench, *pkg)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}

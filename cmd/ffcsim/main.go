@@ -6,7 +6,10 @@
 //
 //	ffcsim                     # both paper tables (B(2,10) and B(4,5))
 //	ffcsim -d 2 -n 10          # one table
-//	ffcsim -d 4 -n 5 -trials 5000 -seed 7 -faults 0,1,2,5
+//	ffcsim -d 4 -n 5 -trials 5000 -seed 7 -faults 0,1,2,5 -workers 8
+//
+// Trials are sharded across the worker pool with per-trial PCG streams,
+// so the tables are bit-identical for a fixed seed at any -workers value.
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	n := flag.Int("n", 0, "word length")
 	trials := flag.Int("trials", 1000, "trials per fault count")
 	seed := flag.Uint64("seed", 1991, "RNG seed")
+	workers := flag.Int("workers", 0, "simulation worker count (0 = GOMAXPROCS); results are identical for any value")
 	faultList := flag.String("faults", "", "comma-separated fault counts (default: the paper's column)")
 	flag.Parse()
 
@@ -42,7 +46,7 @@ func main() {
 
 	run := func(d, n int, title string) {
 		fmt.Printf("%s (%d trials per row, seed %d)\n", title, *trials, *seed)
-		rows := ffc.Simulate(d, n, counts, *trials, *seed)
+		rows := ffc.SimulateWorkers(d, n, counts, *trials, *seed, *workers)
 		ffc.WriteTable(os.Stdout, d, n, rows)
 		fmt.Println()
 	}

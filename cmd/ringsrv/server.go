@@ -220,7 +220,7 @@ func (s *server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.eng.CacheStats())
+	writeJSON(w, s.eng.Stats())
 }
 
 func labels(net topology.Network, nodes []int) []string {

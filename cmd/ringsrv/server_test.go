@@ -58,7 +58,7 @@ func TestEmbedEndpointAndCache(t *testing.T) {
 		t.Errorf("repeat: status %d, cache hit %v", code, out.Stats.CacheHit)
 	}
 
-	var stats engine.CacheStats
+	var stats engine.EngineStats
 	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +69,12 @@ func TestEmbedEndpointAndCache(t *testing.T) {
 	}
 	if stats.Hits != 1 || stats.Misses != 1 {
 		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Requests != 2 || stats.HitRate != 0.5 {
+		t.Errorf("stats = %+v, want 2 requests at hit rate 0.5", stats)
+	}
+	if stats.LatencySamples != 2 || stats.LatencyP50Ns <= 0 {
+		t.Errorf("latency stats missing: %+v", stats)
 	}
 }
 

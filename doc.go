@@ -54,8 +54,22 @@
 //	// broadcast rounds, dilation, elapsed time.
 //
 // Command ringsrv exposes the engine as an HTTP/JSON service (embed,
-// verify, disjoint-cycles, broadcast-simulation endpoints); command
+// verify, disjoint-cycles, broadcast-simulation endpoints, plus a stats
+// endpoint reporting cache hit rate and p50/p99 embed latency); command
 // ringembed adds a -batch mode over JSON-lines request files.
+//
+// # Performance
+//
+// The embedding, verification and Monte-Carlo simulation hot paths run
+// on dense, allocation-free kernels: epoch-stamped flat scratch arrays
+// (internal/dense) with O(1) reset replace the per-call maps of the
+// original implementation, ffc.Embedder carries reusable per-goroutine
+// scratch (pooled by the De Bruijn adapter), and ffc.Simulate shards
+// trials across a worker pool with per-trial PCG streams whose output
+// is bit-identical for a fixed seed at any worker count.  PERF.md
+// documents the design and records the benchmark baselines; command
+// benchjson emits the machine-readable BENCH_*.json artifacts the CI
+// smoke job produces on every push.
 //
 // # Quick start
 //

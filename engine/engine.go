@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +33,10 @@ type Options struct {
 // DefaultCacheSize is the LRU capacity used when Options.CacheSize is 0.
 const DefaultCacheSize = 512
 
+// latencySamples bounds the retained per-request latency reservoir used
+// for the p50/p99 estimates: a ring of the most recent served requests.
+const latencySamples = 4096
+
 // Engine embeds fault-free rings concurrently with memoization.  It is
 // safe for concurrent use.
 type Engine struct {
@@ -43,6 +48,8 @@ type Engine struct {
 	hits     int64
 	misses   int64
 	evicted  int64
+	lat      []int64 // ns, ring buffer of the last latencySamples requests
+	latPos   int
 }
 
 // flight is one in-progress embedding; duplicate concurrent requests for
@@ -220,11 +227,63 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.cacheStatsLocked()
+}
+
+func (e *Engine) cacheStatsLocked() CacheStats {
 	s := CacheStats{Hits: e.hits, Misses: e.misses, Evicted: e.evicted, Entries: e.cache.len()}
 	if e.cache != nil {
 		s.Capacity = e.cache.capacity
 	}
 	return s
+}
+
+// EngineStats is the observability snapshot served by the stats
+// endpoint: cache counters (flattened), the cache hit rate, and latency
+// percentiles over the most recent served requests.
+type EngineStats struct {
+	CacheStats
+	Requests       int64   `json:"requests"`
+	HitRate        float64 `json:"hit_rate"`
+	LatencyP50Ns   int64   `json:"latency_p50_ns"`
+	LatencyP99Ns   int64   `json:"latency_p99_ns"`
+	LatencySamples int     `json:"latency_samples"`
+}
+
+// Stats returns a snapshot of the engine's cache and latency behavior.
+// Percentiles are computed over a bounded reservoir of the most recent
+// successfully served requests — cache hits included, failed embeddings
+// excluded (they count in Requests via Misses but contribute no latency
+// sample, so LatencySamples can trail Requests).
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	s := EngineStats{CacheStats: e.cacheStatsLocked()}
+	lat := append([]int64(nil), e.lat...)
+	e.mu.Unlock()
+
+	s.Requests = s.Hits + s.Misses
+	if s.Requests > 0 {
+		s.HitRate = float64(s.Hits) / float64(s.Requests)
+	}
+	s.LatencySamples = len(lat)
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.LatencyP50Ns = lat[len(lat)/2]
+		s.LatencyP99Ns = lat[min(len(lat)-1, len(lat)*99/100)]
+	}
+	return s
+}
+
+// recordLatency appends one served-request latency to the reservoir.
+func (e *Engine) recordLatency(d time.Duration) {
+	e.mu.Lock()
+	if len(e.lat) < latencySamples {
+		e.lat = append(e.lat, int64(d))
+	} else {
+		e.lat[e.latPos] = int64(d)
+	}
+	e.latPos = (e.latPos + 1) % latencySamples
+	e.mu.Unlock()
 }
 
 func (e *Engine) resolve(req Request) (topology.RingEmbedder, error) {
@@ -238,8 +297,10 @@ func (e *Engine) resolve(req Request) (topology.RingEmbedder, error) {
 }
 
 // result assembles a Result, copying the ring so cached slices cannot be
-// mutated by callers.
+// mutated by callers, and feeds the latency reservoir.
 func (e *Engine) result(net topology.Network, ring []int, info topologyInfo, hit bool, start time.Time) *Result {
+	elapsed := time.Since(start)
+	e.recordLatency(elapsed)
 	return &Result{
 		Ring: append([]int(nil), ring...),
 		Stats: Stats{
@@ -250,7 +311,7 @@ func (e *Engine) result(net topology.Network, ring []int, info topologyInfo, hit
 			Rounds:     info.Rounds,
 			Survivors:  info.Survivors,
 			Dilation:   info.Dilation,
-			Elapsed:    time.Since(start),
+			Elapsed:    elapsed,
 		},
 	}
 }

@@ -276,3 +276,35 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Errorf("accounted %d requests, want 160", cs.Hits+cs.Misses)
 	}
 }
+
+func TestEngineStats(t *testing.T) {
+	eng := New(Options{})
+	ctx := context.Background()
+	req := Request{Spec: "debruijn(3,3)", Faults: topology.NodeFaults(6)}
+	for i := 0; i < 4; i++ {
+		if _, err := eng.EmbedRing(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := eng.Stats()
+	if s.Requests != 4 || s.Hits != 3 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 3 hits", s)
+	}
+	if s.HitRate != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", s.HitRate)
+	}
+	if s.LatencySamples != 4 {
+		t.Errorf("latency samples = %d, want 4", s.LatencySamples)
+	}
+	if s.LatencyP50Ns <= 0 || s.LatencyP99Ns < s.LatencyP50Ns {
+		t.Errorf("latency percentiles p50=%d p99=%d", s.LatencyP50Ns, s.LatencyP99Ns)
+	}
+}
+
+func TestEngineStatsEmpty(t *testing.T) {
+	eng := New(Options{})
+	s := eng.Stats()
+	if s.Requests != 0 || s.HitRate != 0 || s.LatencySamples != 0 || s.LatencyP50Ns != 0 {
+		t.Errorf("fresh engine stats = %+v", s)
+	}
+}

@@ -54,21 +54,30 @@ func (g *Graph) NumEdges() int { return g.D * g.Size }
 // by deleting loops, dropping orientation and merging parallel edges
 // (§1.2).  UB(d,n) has d nodes of degree 2d−2, d(d−1) of degree 2d−1 and
 // dⁿ − d² of degree 2d [PR82].
+// Both neighbor families are arithmetic progressions — successors fill
+// [suffix·d, suffix·d + d), predecessors are pre + a·dⁿ⁻¹ — so merged
+// neighbors can be counted without materializing a set: count successors
+// ≠ x, then predecessors that are neither x nor inside the successor
+// range.
 func (g *Graph) UndirectedDegree(x int) int {
-	neighbors := make(map[int]bool)
-	var buf []int
-	for _, y := range g.Successors(x, buf) {
-		if y != x {
-			neighbors[y] = true
+	d := g.D
+	base := g.Suffix(x) * d // successors are base, …, base+d−1
+	pivot := g.Pow(g.N - 1)
+	pre := x / d
+	deg := 0
+	for a := 0; a < d; a++ {
+		if base+a != x {
+			deg++
 		}
 	}
-	buf = g.Predecessors(x, nil)
-	for _, y := range buf {
-		if y != x {
-			neighbors[y] = true
+	for a := 0; a < d; a++ {
+		y := a*pivot + pre
+		if y == x || (y >= base && y < base+d) {
+			continue
 		}
+		deg++
 	}
-	return len(neighbors)
+	return deg
 }
 
 // IsCycle reports whether seq is a cycle of B(d,n): nonempty, all nodes

@@ -281,3 +281,45 @@ func BenchmarkLongestCycleB23(b *testing.B) {
 		g.LongestCycleAvoiding(nil)
 	}
 }
+
+// undirectedDegreeReference is the pre-rewrite map-based implementation,
+// kept as the oracle for the arithmetic neighbor-merging version.
+func undirectedDegreeReference(g *Graph, x int) int {
+	neighbors := make(map[int]bool)
+	var buf []int
+	for _, y := range g.Successors(x, buf) {
+		if y != x {
+			neighbors[y] = true
+		}
+	}
+	buf = g.Predecessors(x, nil)
+	for _, y := range buf {
+		if y != x {
+			neighbors[y] = true
+		}
+	}
+	return len(neighbors)
+}
+
+func TestUndirectedDegreeMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 1}, {3, 1}, {2, 2}, {2, 6}, {3, 4}, {4, 3}, {5, 2}, {7, 2}} {
+		g := New(tc.d, tc.n)
+		for x := 0; x < g.Size; x++ {
+			if got, want := g.UndirectedDegree(x), undirectedDegreeReference(g, x); got != want {
+				t.Fatalf("B(%d,%d): UndirectedDegree(%s) = %d, want %d", tc.d, tc.n, g.String(x), got, want)
+			}
+		}
+	}
+}
+
+func TestUndirectedDegreeAllocFree(t *testing.T) {
+	g := New(4, 5)
+	allocs := testing.AllocsPerRun(100, func() {
+		for x := 0; x < 64; x++ {
+			g.UndirectedDegree(x)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("UndirectedDegree allocates %.1f times per census pass, want 0", allocs)
+	}
+}

@@ -16,12 +16,26 @@
 // simulation harness behind Tables 2.1 and 2.2, and a distributed
 // implementation of the algorithm (§2.4) on a synchronous message-passing
 // network simulator.
+//
+// # Dense kernels
+//
+// The embedding and simulation hot paths run on allocation-free dense
+// kernels (see PERF.md at the repo root): an Embedder carries flat
+// epoch-stamped scratch arrays — distances, component ids, visited
+// stamps, successor overrides — that reset in O(1) between runs, plus a
+// precomputed necklace-representative table that turns the alive test
+// into one array load.  Simulate shards its Monte-Carlo trials across a
+// worker pool; each trial draws from an independent PCG stream derived
+// from (seed, fault count, trial index) and the per-row statistics merge
+// with commutative integer reductions, so tables are bit-identical for a
+// fixed seed at any worker count.  The pre-rewrite map-based kernels are
+// preserved in legacy_test.go and pinned against the dense ones by
+// equivalence tests.
 package ffc
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"debruijnring/internal/debruijn"
 )
@@ -55,47 +69,11 @@ type TreeEdge struct {
 // Embed runs the FFC algorithm on B(d,n) with the given faulty nodes and
 // returns the fault-free ring.  It fails only when no nonfaulty necklace
 // survives.
+//
+// Embed allocates a fresh Embedder per call; repeated embeddings on the
+// same graph should construct one Embedder (or pool them) and reuse it.
 func Embed(g *debruijn.Graph, faults []int) (*Result, error) {
-	faultyReps := FaultyNecklaces(g, faults)
-	alive := func(x int) bool { return !faultyReps[g.NecklaceRep(x)] }
-
-	comp, err := LargestComponent(g, alive)
-	if err != nil {
-		return nil, err
-	}
-	root := comp.MinNode
-
-	res := &Result{
-		Root:            root,
-		BStarSize:       len(comp.Nodes),
-		FaultyNecklaces: faultyReps,
-	}
-	for rep := range faultyReps {
-		res.FaultyNodeCount += g.Period(rep)
-	}
-
-	// Step 1.1: broadcast from R; dist and min-predecessor parents.
-	dist, parent, ecc := broadcastTree(g, root, comp.Member)
-	res.Eccentricity = ecc
-
-	// Step 1.2: derive the necklace spanning tree T.
-	tree, err := necklaceTree(g, root, comp, dist, parent)
-	if err != nil {
-		return nil, err
-	}
-	res.Tree = tree
-
-	// Step 2: close each star T_w into a w-cycle; record successor
-	// overrides (Step 3 preparation).
-	res.Overrides = modifiedTreeOverrides(g, root, tree)
-
-	// Step 3: walk the successor rule from R.
-	cycle, err := walk(g, root, res.Overrides, len(comp.Nodes))
-	if err != nil {
-		return nil, err
-	}
-	res.Cycle = cycle
-	return res, nil
+	return NewEmbedder(g).Embed(faults)
 }
 
 // FaultyNecklaces returns the set of necklace representatives containing at
@@ -180,90 +158,6 @@ func LargestComponent(g *debruijn.Graph, alive func(int) bool) (*Component, erro
 	return &Component{Nodes: nodes, MinNode: minNodes[best], Member: member}, nil
 }
 
-// broadcastTree performs the Step 1.1 broadcast: BFS from root along
-// directed edges within the component.  The parent of x is the minimal
-// predecessor at distance dist(x)−1, mirroring "the predecessor from which
-// X first receives M, ties broken toward the minimal predecessor".
-func broadcastTree(g *debruijn.Graph, root int, member func(int) bool) (dist map[int]int, parent map[int]int, ecc int) {
-	dist = map[int]int{root: 0}
-	parent = make(map[int]int)
-	frontier := []int{root}
-	var buf []int
-	for len(frontier) > 0 {
-		var next []int
-		for _, v := range frontier {
-			buf = g.Successors(v, buf)
-			for _, w := range buf {
-				if w == v || !member(w) {
-					continue
-				}
-				if _, ok := dist[w]; !ok {
-					dist[w] = dist[v] + 1
-					next = append(next, w)
-				}
-			}
-		}
-		frontier = next
-	}
-	for x, dx := range dist {
-		if dx > ecc {
-			ecc = dx
-		}
-		if x == root {
-			continue
-		}
-		best := -1
-		buf = g.Predecessors(x, buf)
-		for _, p := range buf {
-			if dp, ok := dist[p]; ok && dp == dx-1 && (best == -1 || p < best) {
-				best = p
-			}
-		}
-		if best == -1 {
-			panic("ffc: BFS node with no parent (unreachable)")
-		}
-		parent[x] = best
-	}
-	return dist, parent, ecc
-}
-
-// necklaceTree derives the spanning tree T of N* (Step 1.2): each non-root
-// necklace picks its earliest-informed node Y (ties toward the minimal
-// node); Y = wα hangs the necklace from the necklace of Y's broadcast
-// parent βw under label w.
-func necklaceTree(g *debruijn.Graph, root int, comp *Component, dist, parent map[int]int) (map[int]TreeEdge, error) {
-	rootRep := g.NecklaceRep(root)
-	if rootRep != root {
-		return nil, fmt.Errorf("ffc: root %s is not a necklace representative", g.String(root))
-	}
-	// Earliest node per necklace.
-	earliest := make(map[int]int) // rep → Y
-	for _, x := range comp.Nodes {
-		rep := g.NecklaceRep(x)
-		y, ok := earliest[rep]
-		if !ok || dist[x] < dist[y] || (dist[x] == dist[y] && x < y) {
-			earliest[rep] = x
-		}
-	}
-	tree := make(map[int]TreeEdge, len(earliest)-1)
-	for rep, y := range earliest {
-		if rep == rootRep {
-			continue
-		}
-		p, ok := parent[y]
-		if !ok {
-			return nil, fmt.Errorf("ffc: earliest node %s of necklace [%s] has no broadcast parent", g.String(y), g.String(rep))
-		}
-		w := g.Prefix(y) // Y = wα ⇒ label is Y's leading n−1 digits
-		parentRep := g.NecklaceRep(p)
-		if parentRep == rep {
-			return nil, fmt.Errorf("ffc: necklace [%s] would parent itself", g.String(rep))
-		}
-		tree[rep] = TreeEdge{Parent: parentRep, W: w}
-	}
-	return tree, nil
-}
-
 // suffixNode returns the unique node of the necklace [rep] whose trailing
 // n−1 digits equal w (the outgoing node αw), or −1 if none exists.
 func suffixNode(g *debruijn.Graph, rep, w int) int {
@@ -292,64 +186,6 @@ func prefixNode(g *debruijn.Graph, rep, w int) int {
 			return -1
 		}
 	}
-}
-
-// modifiedTreeOverrides performs Step 2: every star T_w (one parent, its
-// w-labeled children) becomes a directed cycle ordered by necklace
-// representative, and the resulting w-edges are translated into the Step-3
-// successor overrides: the outgoing node αw of each necklace on the cycle
-// jumps to the incoming node wβ of the next necklace.
-func modifiedTreeOverrides(g *debruijn.Graph, root int, tree map[int]TreeEdge) map[int]int {
-	stars := make(map[int][]int) // w → member reps (children; parent added once)
-	parents := make(map[int]int) // w → parent rep
-	for child, e := range tree {
-		stars[e.W] = append(stars[e.W], child)
-		parents[e.W] = e.Parent
-	}
-	overrides := make(map[int]int)
-	for w, members := range stars {
-		members = append(members, parents[w])
-		sort.Ints(members)
-		k := len(members)
-		for i, rep := range members {
-			next := members[(i+1)%k]
-			out := suffixNode(g, rep, w)
-			in := prefixNode(g, next, w)
-			if out < 0 || in < 0 {
-				panic(fmt.Sprintf("ffc: star member [%s] lacks a w-node for w=%s (unreachable)",
-					g.String(rep), fmt.Sprint(w)))
-			}
-			overrides[out] = in
-		}
-	}
-	_ = root
-	return overrides
-}
-
-// walk reads off the Hamiltonian cycle of B* from the successor rule: an
-// outgoing node follows its override; every other node follows its
-// necklace successor (left rotation).
-func walk(g *debruijn.Graph, root int, overrides map[int]int, want int) ([]int, error) {
-	cycle := make([]int, 0, want)
-	x := root
-	for {
-		cycle = append(cycle, x)
-		next, ok := overrides[x]
-		if !ok {
-			next = g.RotL(x)
-		}
-		if next == root {
-			break
-		}
-		if len(cycle) > want {
-			return nil, fmt.Errorf("ffc: successor walk exceeded component size %d without closing", want)
-		}
-		x = next
-	}
-	if len(cycle) != want {
-		return nil, fmt.Errorf("ffc: walk closed after %d nodes, want %d (cycle not Hamiltonian in B*)", len(cycle), want)
-	}
-	return cycle, nil
 }
 
 // NecklaceAdjacency builds the necklace adjacency graph N* of the surviving

@@ -4,8 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"debruijnring/internal/debruijn"
+	"debruijnring/internal/dense"
 )
 
 // SimRow is one row of Table 2.1/2.2: statistics, over repeated random
@@ -38,94 +42,218 @@ var DefaultFaultCounts = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40, 50}
 // component containing R = 0…01 (or a neighbouring node when R's necklace
 // is faulty, as in the paper) and the eccentricity of R in that component
 // are recorded.
+//
+// Trials run across a worker pool sized by GOMAXPROCS; see SimulateWorkers
+// for the determinism contract.
 func Simulate(d, n int, faultCounts []int, trials int, seed uint64) []SimRow {
+	return SimulateWorkers(d, n, faultCounts, trials, seed, 0)
+}
+
+// SimulateWorkers is Simulate with an explicit worker count (0 = GOMAXPROCS).
+//
+// Every trial owns an independent PCG stream derived from (seed, fault
+// count, trial index), and the per-fault-count statistics are merged with
+// commutative integer reductions, so the output is bit-identical for a
+// fixed seed regardless of the worker count or the scheduling of trials
+// onto workers.
+func SimulateWorkers(d, n int, faultCounts []int, trials int, seed uint64, workers int) []SimRow {
 	g := debruijn.New(d, n)
 	r := g.Successor(g.Repeat(0), 1) // R = 0…01
-	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
-	rows := make([]SimRow, 0, len(faultCounts))
-	for _, f := range faultCounts {
-		row := SimRow{F: f, MinSize: g.Size + 1, MinEcc: g.Size + 1, Bound: UpperBound(g, f)}
-		var sumSize, sumEcc, sumDead int64
-		for trial := 0; trial < trials; trial++ {
-			size, ecc, dead := oneTrial(g, r, f, rng)
-			sumSize += int64(size)
-			sumEcc += int64(ecc)
-			sumDead += int64(dead)
-			if size > row.MaxSize {
-				row.MaxSize = size
-			}
-			if size < row.MinSize {
-				row.MinSize = size
-			}
-			if ecc > row.MaxEcc {
-				row.MaxEcc = ecc
-			}
-			if ecc < row.MinEcc {
-				row.MinEcc = ecc
-			}
+
+	rows := make([]SimRow, len(faultCounts))
+	for i, f := range faultCounts {
+		rows[i] = SimRow{F: f, MinSize: g.Size + 1, MinEcc: g.Size + 1, Bound: UpperBound(g, f)}
+	}
+	total := len(faultCounts) * trials
+	if total == 0 {
+		return rows
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	reps := necklaceReps(g) // shared, read-only
+	parts := make([][]simAgg, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		part := make([]simAgg, len(faultCounts))
+		for i := range part {
+			part[i].minSize = g.Size + 1
+			part[i].minEcc = g.Size + 1
 		}
-		row.AvgSize = float64(sumSize) / float64(trials)
-		row.AvgEcc = float64(sumEcc) / float64(trials)
-		row.AvgDeadNodes = float64(sumDead) / float64(trials)
-		rows = append(rows, row)
+		parts[w] = part
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &simScratch{g: g, reps: reps}
+			pcg := rand.NewPCG(0, 0)
+			rng := rand.New(pcg)
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= total {
+					return
+				}
+				fi, ti := j/trials, j%trials
+				f := faultCounts[fi]
+				pcg.Seed(seed, trialStream(f, ti))
+				size, ecc, dead := sc.oneTrial(r, f, rng)
+				part[fi].record(size, ecc, dead)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range rows {
+		a := simAgg{minSize: g.Size + 1, minEcc: g.Size + 1}
+		for w := range parts {
+			a.merge(parts[w][i])
+		}
+		rows[i].MaxSize, rows[i].MinSize = a.maxSize, a.minSize
+		rows[i].MaxEcc, rows[i].MinEcc = a.maxEcc, a.minEcc
+		rows[i].AvgSize = float64(a.sumSize) / float64(trials)
+		rows[i].AvgEcc = float64(a.sumEcc) / float64(trials)
+		rows[i].AvgDeadNodes = float64(a.sumDead) / float64(trials)
 	}
 	return rows
+}
+
+// simAgg accumulates the order-independent statistics of one table row.
+// All reductions (sum, min, max over integers) commute and associate
+// exactly, which is what makes sharded simulation bit-reproducible.
+type simAgg struct {
+	sumSize, sumEcc, sumDead int64
+	maxSize, maxEcc          int
+	minSize, minEcc          int
+}
+
+func (a *simAgg) record(size, ecc, dead int) {
+	a.sumSize += int64(size)
+	a.sumEcc += int64(ecc)
+	a.sumDead += int64(dead)
+	if size > a.maxSize {
+		a.maxSize = size
+	}
+	if size < a.minSize {
+		a.minSize = size
+	}
+	if ecc > a.maxEcc {
+		a.maxEcc = ecc
+	}
+	if ecc < a.minEcc {
+		a.minEcc = ecc
+	}
+}
+
+func (a *simAgg) merge(b simAgg) {
+	a.sumSize += b.sumSize
+	a.sumEcc += b.sumEcc
+	a.sumDead += b.sumDead
+	if b.maxSize > a.maxSize {
+		a.maxSize = b.maxSize
+	}
+	if b.minSize < a.minSize {
+		a.minSize = b.minSize
+	}
+	if b.maxEcc > a.maxEcc {
+		a.maxEcc = b.maxEcc
+	}
+	if b.minEcc < a.minEcc {
+		a.minEcc = b.minEcc
+	}
+}
+
+// trialStream derives the PCG stream selector for one (fault count, trial)
+// pair.  Streams depend only on these values — not on worker assignment —
+// so any sharding of trials over workers draws identical fault sets.
+func trialStream(f, trial int) uint64 {
+	return 0x9e3779b97f4a7c15 ^ splitmix64(uint64(f)<<32^uint64(trial))
+}
+
+// splitmix64 is the SplitMix64 finalizer, the standard seed scrambler.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// simScratch carries one worker's reusable trial state: epoch-stamped
+// dense sets and arrays reset in O(1) between trials, so a trial's only
+// costs are the graph traversals themselves.
+type simScratch struct {
+	g    *debruijn.Graph
+	reps []int32 // necklace representative per node (shared, read-only)
+
+	drawn    dense.Set  // distinct fault draws
+	faultRep dense.Set  // faulty necklace representatives
+	comp     dense.Ints // component id per node
+	sizes    []int32
+	stack    []int32
+	seen     dense.Set // nearest-component BFS visited
+	vis      dense.Set // eccentricity BFS visited
+	frontier []int32
+	next     []int32
 }
 
 // oneTrial removes the necklaces of f random distinct faults and returns
 // the size of the source component, the source's eccentricity in it, and
 // the number of processors lost with faulty necklaces.
-func oneTrial(g *debruijn.Graph, r, f int, rng *rand.Rand) (size, ecc, dead int) {
-	faults := make(map[int]bool, f)
-	for len(faults) < f {
-		faults[rng.IntN(g.Size)] = true
-	}
-	faultyReps := make(map[int]bool, f)
-	for x := range faults {
-		faultyReps[g.NecklaceRep(x)] = true
-	}
-	alive := func(x int) bool { return !faultyReps[g.NecklaceRep(x)] }
-	for rep := range faultyReps {
-		dead += g.Period(rep)
-	}
+func (sc *simScratch) oneTrial(r, f int, rng *rand.Rand) (size, ecc, dead int) {
+	g := sc.g
+	d := g.D
+	pivot := g.Pow(g.N - 1)
 
-	// Label all components of the surviving graph (BFS over both edge
-	// directions; weak = strong connectivity here).
-	compID := make([]int, g.Size)
-	for i := range compID {
-		compID[i] = -1
-	}
-	var compSizes []int
-	var queue, buf []int
-	for x := 0; x < g.Size; x++ {
-		if !alive(x) || compID[x] != -1 {
+	sc.drawn.Reset(g.Size)
+	sc.faultRep.Reset(g.Size)
+	for drawn := 0; drawn < f; {
+		x := rng.IntN(g.Size)
+		if !sc.drawn.Add(x) {
 			continue
 		}
-		id := len(compSizes)
-		compSizes = append(compSizes, 0)
-		compID[x] = id
-		queue = append(queue[:0], x)
-		for len(queue) > 0 {
-			v := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			compSizes[id]++
-			buf = g.Successors(v, buf)
-			for _, w := range buf {
-				if alive(w) && compID[w] == -1 {
-					compID[w] = id
-					queue = append(queue, w)
+		drawn++
+		if rep := int(sc.reps[x]); sc.faultRep.Add(rep) {
+			dead += g.Period(rep)
+		}
+	}
+	alive := func(x int) bool { return !sc.faultRep.Has(int(sc.reps[x])) }
+
+	// Label all components of the surviving graph (both edge directions;
+	// weak = strong connectivity here).
+	sc.comp.Reset(g.Size)
+	sc.sizes = sc.sizes[:0]
+	for x := 0; x < g.Size; x++ {
+		if !alive(x) || sc.comp.Has(x) {
+			continue
+		}
+		id := int32(len(sc.sizes))
+		sc.sizes = append(sc.sizes, 0)
+		sc.stack = append(sc.stack[:0], int32(x))
+		sc.comp.Set(x, id)
+		for len(sc.stack) > 0 {
+			v := int(sc.stack[len(sc.stack)-1])
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			sc.sizes[id]++
+			base := g.Suffix(v) * d
+			pre := v / d
+			for a := 0; a < d; a++ {
+				if w := base + a; alive(w) && !sc.comp.Has(w) {
+					sc.comp.Set(w, id)
+					sc.stack = append(sc.stack, int32(w))
 				}
 			}
-			buf = g.Predecessors(v, buf)
-			for _, w := range buf {
-				if alive(w) && compID[w] == -1 {
-					compID[w] = id
-					queue = append(queue, w)
+			for a := 0; a < d; a++ {
+				if w := a*pivot + pre; alive(w) && !sc.comp.Has(w) {
+					sc.comp.Set(w, id)
+					sc.stack = append(sc.stack, int32(w))
 				}
 			}
 		}
 	}
-	if len(compSizes) == 0 {
+	if len(sc.sizes) == 0 {
 		return 0, 0, dead
 	}
 
@@ -137,86 +265,92 @@ func oneTrial(g *debruijn.Graph, r, f int, rng *rand.Rand) (size, ecc, dead int)
 		// component nearest to R (avoiding, e.g., the single node 0ⁿ that
 		// is isolated exactly when N(0…01) itself fails — Proposition 2.3).
 		largest := 0
-		for id, s := range compSizes {
-			if s > compSizes[largest] {
+		for id, s := range sc.sizes {
+			if s > sc.sizes[largest] {
 				largest = id
 			}
 		}
-		src = nearestInComponent(g, r, largest, compID)
+		src = sc.nearestInComponent(r, int32(largest))
 		if src < 0 {
 			return 0, 0, dead
 		}
 	}
 
 	// Eccentricity of src: directed BFS within its component.
-	id := compID[src]
-	dist := map[int]int{src: 0}
-	frontier := []int{src}
+	id := sc.comp.At(src)
+	sc.vis.Reset(g.Size)
+	sc.vis.Add(src)
+	sc.frontier = append(sc.frontier[:0], int32(src))
 	depth := 0
-	for len(frontier) > 0 {
-		var next []int
-		for _, v := range frontier {
-			buf = g.Successors(v, buf)
-			for _, w := range buf {
-				if w == v || compID[w] != id {
+	for len(sc.frontier) > 0 {
+		sc.next = sc.next[:0]
+		for _, v32 := range sc.frontier {
+			v := int(v32)
+			base := g.Suffix(v) * d
+			for a := 0; a < d; a++ {
+				w := base + a
+				if w == v {
 					continue
 				}
-				if _, ok := dist[w]; !ok {
-					dist[w] = dist[v] + 1
-					next = append(next, w)
+				if cv, ok := sc.comp.Get(w); !ok || cv != id {
+					continue
+				}
+				if sc.vis.Add(w) {
+					sc.next = append(sc.next, int32(w))
 				}
 			}
 		}
-		if len(next) > 0 {
+		if len(sc.next) > 0 {
 			depth++
 		}
-		frontier = next
+		sc.frontier, sc.next = sc.next, sc.frontier
 	}
-	return compSizes[id], depth, dead
+	return int(sc.sizes[id]), depth, dead
 }
 
 // nearestInComponent returns the node of the given component closest to r
 // (BFS over both edge directions through the full graph, dead nodes
 // included as transit), ties broken toward smaller node values; −1 when the
 // component is empty.
-func nearestInComponent(g *debruijn.Graph, r, id int, compID []int) int {
-	seen := map[int]bool{r: true}
-	frontier := []int{r}
-	var buf []int
-	consider := func(w, best int) int {
-		if compID[w] == id && (best == -1 || w < best) {
-			return w
-		}
-		return best
-	}
-	if compID[r] == id {
+func (sc *simScratch) nearestInComponent(r int, id int32) int {
+	g := sc.g
+	d := g.D
+	pivot := g.Pow(g.N - 1)
+	sc.seen.Reset(g.Size)
+	sc.seen.Add(r)
+	if v, ok := sc.comp.Get(r); ok && v == id {
 		return r
 	}
-	for len(frontier) > 0 {
-		var next []int
+	sc.frontier = append(sc.frontier[:0], int32(r))
+	for len(sc.frontier) > 0 {
+		sc.next = sc.next[:0]
 		best := -1
-		for _, v := range frontier {
-			buf = g.Successors(v, buf)
-			for _, w := range buf {
-				if !seen[w] {
-					seen[w] = true
-					next = append(next, w)
-					best = consider(w, best)
+		consider := func(w int) {
+			if cv, ok := sc.comp.Get(w); ok && cv == id && (best == -1 || w < best) {
+				best = w
+			}
+		}
+		for _, v32 := range sc.frontier {
+			v := int(v32)
+			base := g.Suffix(v) * d
+			pre := v / d
+			for a := 0; a < d; a++ {
+				if w := base + a; sc.seen.Add(w) {
+					sc.next = append(sc.next, int32(w))
+					consider(w)
 				}
 			}
-			buf = g.Predecessors(v, buf)
-			for _, w := range buf {
-				if !seen[w] {
-					seen[w] = true
-					next = append(next, w)
-					best = consider(w, best)
+			for a := 0; a < d; a++ {
+				if w := a*pivot + pre; sc.seen.Add(w) {
+					sc.next = append(sc.next, int32(w))
+					consider(w)
 				}
 			}
 		}
 		if best >= 0 {
 			return best
 		}
-		frontier = next
+		sc.frontier, sc.next = sc.next, sc.frontier
 	}
 	return -1
 }

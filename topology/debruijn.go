@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 
 	"debruijnring/internal/debruijn"
 	"debruijnring/internal/ffc"
@@ -15,6 +16,11 @@ import (
 type DeBruijn struct {
 	d, n int
 	g    *debruijn.Graph
+
+	// embedders pools dense FFC scratch (ffc.Embedder) across concurrent
+	// EmbedRing calls, so the engine's worker loop reuses traversal
+	// buffers instead of reallocating them per request.
+	embedders sync.Pool
 }
 
 // NewDeBruijn returns the B(d,n) adapter; d ≥ 2, n ≥ 1.
@@ -67,7 +73,12 @@ func (t *DeBruijn) EmbedRing(f FaultSet) ([]int, *EmbedInfo, error) {
 	if err := f.Validate(t); err != nil {
 		return nil, nil, err
 	}
-	res, err := ffc.Embed(t.g, f.Nodes)
+	em, _ := t.embedders.Get().(*ffc.Embedder)
+	if em == nil {
+		em = ffc.NewEmbedder(t.g)
+	}
+	res, err := em.Embed(f.Nodes)
+	t.embedders.Put(em)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,7 +3,9 @@ package topology
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+
+	"debruijnring/internal/dense"
 )
 
 // Edge is a directed network link from one processor to another.
@@ -52,25 +54,115 @@ func (f FaultSet) Canonical() FaultSet {
 }
 
 // Key renders the canonicalized fault set as a deterministic string,
-// suitable for memoization keyed by (topology, fault set).
+// suitable for memoization keyed by (topology, fault set).  It is
+// computed on every engine cache lookup, so the digits are appended with
+// strconv onto one preallocated buffer instead of through fmt.
 func (f FaultSet) Key() string {
 	c := f.Canonical()
-	var b strings.Builder
-	b.WriteString("n:")
+	// "n:" + ";e:" + per-fault digits (≤ 20 each) and separators.
+	buf := make([]byte, 0, 8+21*len(c.Nodes)+42*len(c.Edges))
+	buf = append(buf, 'n', ':')
 	for i, v := range c.Nodes {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		buf = strconv.AppendInt(buf, int64(v), 10)
 	}
-	b.WriteString(";e:")
+	buf = append(buf, ';', 'e', ':')
 	for i, e := range c.Edges {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&b, "%d-%d", e.From, e.To)
+		buf = strconv.AppendInt(buf, int64(e.From), 10)
+		buf = append(buf, '-')
+		buf = strconv.AppendInt(buf, int64(e.To), 10)
 	}
-	return b.String()
+	return string(buf)
+}
+
+// smallFaultCutoff is the fault-set size under which a linear scan of
+// the slice beats preparing an indexed lookup.
+const smallFaultCutoff = 16
+
+// nodeLookup is an allocation-light membership test over failed
+// processors: a linear scan for small sets, a pooled epoch-stamped dense
+// set for large ones (see VerifyRing).
+type nodeLookup struct {
+	nodes []int
+	set   *dense.Set // nil for small sets
+}
+
+// makeNodeLookup indexes the failed processors of a size-node network.
+// When it returns a pooled set, release must be called after use.
+func makeNodeLookup(nodes []int, size int) nodeLookup {
+	l := nodeLookup{nodes: nodes}
+	if len(nodes) > smallFaultCutoff {
+		l.set = getScratchSet(size)
+		for _, v := range nodes {
+			if v >= 0 && v < size { // out-of-range faults match nothing
+				l.set.Add(v)
+			}
+		}
+	}
+	return l
+}
+
+func (l nodeLookup) has(v int) bool {
+	if l.set != nil {
+		return l.set.Has(v)
+	}
+	for _, x := range l.nodes {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (l nodeLookup) release() {
+	if l.set != nil {
+		putScratchSet(l.set)
+	}
+}
+
+// edgeLookup is the link-fault analogue: linear scan for small sets, a
+// sorted copy with binary search for large ones.
+type edgeLookup struct {
+	edges  []Edge
+	sorted bool
+}
+
+func makeEdgeLookup(edges []Edge) edgeLookup {
+	l := edgeLookup{edges: edges}
+	if len(edges) > smallFaultCutoff {
+		l.edges = append([]Edge(nil), edges...)
+		sort.Slice(l.edges, func(i, j int) bool {
+			if l.edges[i].From != l.edges[j].From {
+				return l.edges[i].From < l.edges[j].From
+			}
+			return l.edges[i].To < l.edges[j].To
+		})
+		l.sorted = true
+	}
+	return l
+}
+
+func (l edgeLookup) has(e Edge) bool {
+	if !l.sorted {
+		for _, x := range l.edges {
+			if x == e {
+				return true
+			}
+		}
+		return false
+	}
+	i := sort.Search(len(l.edges), func(i int) bool {
+		if l.edges[i].From != e.From {
+			return l.edges[i].From > e.From
+		}
+		return l.edges[i].To >= e.To
+	})
+	return i < len(l.edges) && l.edges[i] == e
 }
 
 // NodeSet returns the failed processors as a membership map.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // maxWordSize mirrors word.MaxSize: the largest dⁿ⁺¹ the tuple
@@ -39,8 +40,42 @@ func powFits(base, exp, limit int) bool {
 //	hypercube(12)   binary cube Q_n         aliases: cube, q
 //
 // Whitespace is ignored and names are case-insensitive.
+//
+// Adapters are immutable and safe for concurrent use, so FromSpec
+// memoizes them (boundedly) by normalized spec: repeated requests for
+// the same topology share one instance — and with it the instance's
+// pooled embedding scratch — instead of rebuilding the network per
+// request.
 func FromSpec(spec string) (RingEmbedder, error) {
 	s := strings.ToLower(strings.Join(strings.Fields(spec), ""))
+	if net, ok := specCache.Load(s); ok {
+		return net.(RingEmbedder), nil
+	}
+	net, err := fromSpecUncached(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	specCacheMu.Lock()
+	if specCacheLen < maxSpecCacheEntries {
+		if _, loaded := specCache.LoadOrStore(s, net); !loaded {
+			specCacheLen++
+		}
+	}
+	specCacheMu.Unlock()
+	return net, nil
+}
+
+// specCache memoizes adapters by normalized spec, capped so a stream of
+// unique untrusted specs cannot grow memory without bound (beyond the
+// cap, specs are served uncached).
+var (
+	specCache           sync.Map
+	specCacheMu         sync.Mutex
+	specCacheLen        int
+	maxSpecCacheEntries = 256
+)
+
+func fromSpecUncached(s, spec string) (RingEmbedder, error) {
 	open := strings.IndexByte(s, '(')
 	if open < 0 || !strings.HasSuffix(s, ")") {
 		return nil, fmt.Errorf("topology: bad spec %q (want name(args))", spec)

@@ -14,6 +14,12 @@
 // families satisfy CycleFamily.
 package topology
 
+import (
+	"sync"
+
+	"debruijnring/internal/dense"
+)
+
 // Network is a processor interconnection topology.  Implementations are
 // immutable after construction and safe for concurrent use.
 type Network interface {
@@ -117,12 +123,29 @@ func isSimpleCycle(net Network, cycle []int) bool {
 		return false
 	}
 	size := net.Nodes()
-	seen := make(map[int]bool, k)
+	if k <= 64 {
+		// Small rings: a quadratic scan avoids touching scratch at all.
+		for i, x := range cycle {
+			if x < 0 || x >= size {
+				return false
+			}
+			for _, y := range cycle[:i] {
+				if y == x {
+					return false
+				}
+			}
+			if !net.IsEdge(x, cycle[(i+1)%k]) {
+				return false
+			}
+		}
+		return true
+	}
+	seen := getScratchSet(size)
+	defer putScratchSet(seen)
 	for i, x := range cycle {
-		if x < 0 || x >= size || seen[x] {
+		if x < 0 || x >= size || !seen.Add(x) {
 			return false
 		}
-		seen[x] = true
 		if !net.IsEdge(x, cycle[(i+1)%k]) {
 			return false
 		}
@@ -130,30 +153,46 @@ func isSimpleCycle(net Network, cycle []int) bool {
 	return true
 }
 
+// scratchSets pools the epoch-stamped node sets behind verification so a
+// steady request stream stops allocating O(size) bookkeeping per call —
+// a pooled set's O(1) epoch reset replaces the per-call map of the
+// original implementation.
+var scratchSets = sync.Pool{New: func() any { return new(dense.Set) }}
+
+func getScratchSet(size int) *dense.Set {
+	s := scratchSets.Get().(*dense.Set)
+	s.Reset(size)
+	return s
+}
+
+func putScratchSet(s *dense.Set) { scratchSets.Put(s) }
+
 // VerifyRing reports whether cycle is a valid embedded ring of net that
 // avoids every fault in f — the single shared implementation of the
 // fault-avoidance loops previously duplicated across the De Bruijn,
-// edge-fault and butterfly APIs.
+// edge-fault and butterfly APIs.  Fault membership runs on dense lookups
+// with a small-set fallback instead of per-call maps.
 func VerifyRing(net Network, cycle []int, f FaultSet) bool {
 	if !IsRing(net, cycle) {
 		return false
 	}
-	badNode := f.NodeSet()
-	badEdge := f.EdgeSet()
+	badNode := makeNodeLookup(f.Nodes, net.Nodes())
+	defer badNode.release()
+	badEdge := makeEdgeLookup(f.Edges)
 	_, undirected := net.(undirectedNetwork)
 	k := len(cycle)
 	for i, v := range cycle {
-		if badNode[v] {
+		if badNode.has(v) {
 			return false
 		}
-		if len(badEdge) > 0 {
+		if len(f.Edges) > 0 {
 			w := cycle[(i+1)%k]
-			if badEdge[Edge{From: v, To: w}] {
+			if badEdge.has(Edge{From: v, To: w}) {
 				return false
 			}
 			// On undirected topologies the failed wire blocks both
 			// orientations.
-			if undirected && badEdge[Edge{From: w, To: v}] {
+			if undirected && badEdge.has(Edge{From: w, To: v}) {
 				return false
 			}
 		}
