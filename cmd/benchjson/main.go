@@ -7,10 +7,17 @@
 //	benchjson                                  # Table 2.1/2.2 benchmarks → stdout
 //	benchjson -bench 'Table21|Table22' -benchtime 5x -label dense -out BENCH_dense.json
 //	benchjson -pkg ./... -bench . -count 3
+//	benchjson -bench 'Table21|Table22' -compare BENCH_dense.json -tolerance 0.25
 //
 // The output records, per benchmark, iterations, ns/op, B/op, allocs/op
 // and MB/s when reported, plus the environment header (goos, goarch, cpu)
 // so two artifacts can be compared meaningfully.
+//
+// With -compare, the fresh run is checked against a baseline artifact:
+// any benchmark present in both whose ns/op regressed by more than
+// -tolerance (a fraction; 0.25 = +25%) fails the run with exit status 1
+// — the regression gate of the CI bench job.  Allocation counts are
+// machine-independent and gated strictly at the same tolerance.
 package main
 
 import (
@@ -67,6 +74,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	out := flag.String("out", "", "output file (empty = stdout)")
 	label := flag.String("label", "", "free-form label recorded in the artifact (e.g. baseline, dense)")
+	compare := flag.String("compare", "", "baseline artifact to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op and allocs/op regression vs the baseline")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
@@ -133,11 +142,71 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *compare != "" {
+		regressions, err := compareBaseline(*compare, report, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s:\n",
+				len(regressions), *tolerance*100, *compare)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% vs %s\n", *tolerance*100, *compare)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// compareBaseline gates the fresh report against a baseline artifact:
+// benchmarks present in both must not regress in ns/op or allocs/op by
+// more than the tolerance fraction.  Benchmarks that exist on only one
+// side are ignored (the bench suite may grow or shrink between commits).
+func compareBaseline(path string, report Report, tolerance float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regressions []string
+	matched := 0
+	for _, b := range report.Benchmarks {
+		ref, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if ref.NsPerOp > 0 && b.NsPerOp > ref.NsPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (%+.0f%%)",
+				b.Name, b.NsPerOp, ref.NsPerOp, 100*(b.NsPerOp/ref.NsPerOp-1)))
+		}
+		if ref.AllocsPerOp > 0 && float64(b.AllocsPerOp) > float64(ref.AllocsPerOp)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (%+.0f%%)",
+				b.Name, b.AllocsPerOp, ref.AllocsPerOp,
+				100*(float64(b.AllocsPerOp)/float64(ref.AllocsPerOp)-1)))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("baseline %s shares no benchmarks with this run (bench %q)", path, report.Bench)
+	}
+	return regressions, nil
 }

@@ -1,0 +1,246 @@
+// Command chaos replays fault traces against a ringsrv instance's
+// session API and reports how the incremental-repair subsystem holds
+// up: repair-vs-recompute latency and the ring-length degradation curve
+// against the paper's dⁿ − nf bound.
+//
+// Traces are either generated (random faults over the topology, seeded
+// and reproducible) or replayed from a recorded JSON file, so a
+// production incident can be re-run against a patched server build.
+//
+// Usage:
+//
+//	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -events 10 -seed 7
+//	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -events 64 -record trace.json
+//	chaos -server http://localhost:8080 -replay trace.json
+//	chaos -topology 'debruijn(4,6)' -events 32 -record trace.json   # generate only
+//
+// Flags:
+//
+//	-server    ringsrv base URL (empty with -record: generate the trace and exit)
+//	-topology  topology spec for generated traces
+//	-events    fault events to generate (one fault per event)
+//	-seed      RNG seed for generated traces
+//	-edge-prob probability an event is a link fault instead of a node fault
+//	-session   session name (default chaos-<seed>)
+//	-replay    JSON trace file to replay instead of generating
+//	-record    write the generated trace to this file
+//	-interval  pause between events (e.g. 100ms), simulating fault arrival
+//	-keep      leave the session on the server after the run
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"debruijnring/session"
+	"debruijnring/topology"
+)
+
+// Trace is the recorded fault stream: a topology and the fault batches
+// to feed it, in order.
+type Trace struct {
+	Topology string                  `json:"topology"`
+	Seed     int64                   `json:"seed,omitempty"`
+	Events   []session.FaultsRequest `json:"events"`
+}
+
+func main() {
+	server := flag.String("server", "", "ringsrv base URL, e.g. http://localhost:8080")
+	spec := flag.String("topology", "debruijn(2,10)", "topology spec for generated traces")
+	events := flag.Int("events", 10, "number of generated fault events")
+	seed := flag.Int64("seed", 1, "RNG seed for generated traces")
+	edgeProb := flag.Float64("edge-prob", 0, "probability an event is a link fault")
+	name := flag.String("session", "", "session name (default chaos-<seed>)")
+	replay := flag.String("replay", "", "JSON trace file to replay")
+	record := flag.String("record", "", "write the generated trace to this file")
+	interval := flag.Duration("interval", 0, "pause between fault events")
+	keep := flag.Bool("keep", false, "keep the session after the run")
+	flag.Parse()
+
+	trace, err := loadOrGenerate(*replay, *spec, *events, *seed, *edgeProb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	if *record != "" {
+		if err := writeTrace(*record, trace); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chaos: recorded %d events to %s\n", len(trace.Events), *record)
+	}
+	if *server == "" {
+		if *record == "" {
+			fmt.Fprintln(os.Stderr, "chaos: no -server and no -record; nothing to do")
+			os.Exit(1)
+		}
+		return
+	}
+
+	sessionName := *name
+	if sessionName == "" {
+		sessionName = fmt.Sprintf("chaos-%d", trace.Seed)
+	}
+	if err := run(trace, *server, sessionName, *interval, *keep); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+// loadOrGenerate returns the trace to drive: the recorded file when
+// replaying, a seeded random stream otherwise.
+func loadOrGenerate(replay, spec string, events int, seed int64, edgeProb float64) (*Trace, error) {
+	if replay != "" {
+		data, err := os.ReadFile(replay)
+		if err != nil {
+			return nil, err
+		}
+		var tr Trace
+		if err := json.Unmarshal(data, &tr); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", replay, err)
+		}
+		if tr.Topology == "" || len(tr.Events) == 0 {
+			return nil, fmt.Errorf("%s: trace needs a topology and at least one event", replay)
+		}
+		return &tr, nil
+	}
+	net, err := topology.FromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Topology: spec, Seed: seed}
+	var buf []int
+	for i := 0; i < events; i++ {
+		var ev session.FaultsRequest
+		if rng.Float64() < edgeProb {
+			u := rng.Intn(net.Nodes())
+			buf = net.Successors(u, buf)
+			w := buf[rng.Intn(len(buf))]
+			ev.EdgeFaults = []session.EdgeJSON{{From: net.Label(u), To: net.Label(w)}}
+		} else {
+			ev.NodeFaults = []string{net.Label(rng.Intn(net.Nodes()))}
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr, nil
+}
+
+func writeTrace(path string, tr *Trace) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sample is one absorbed event's measurements.
+type sample struct {
+	repair     string
+	ringLen    int
+	lowerBound int
+	serverNs   int64
+	clientNs   int64
+	rejected   bool
+}
+
+func run(tr *Trace, server, name string, interval time.Duration, keep bool) error {
+	ctx := context.Background()
+	c := &session.Client{Base: server}
+	st, err := c.Create(ctx, session.CreateRequest{Name: name, Topology: tr.Topology})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session %s on %s: initial ring %d nodes\n", name, tr.Topology, st.RingLength)
+	if !keep {
+		defer c.Delete(ctx, name)
+	}
+
+	samples := make([]sample, 0, len(tr.Events))
+	fmt.Printf("%5s  %-8s  %9s  %9s  %12s  %12s\n",
+		"event", "repair", "ring", "bound", "server", "round-trip")
+	for i, ev := range tr.Events {
+		if interval > 0 && i > 0 {
+			time.Sleep(interval)
+		}
+		start := time.Now()
+		res, err := c.AddFaults(ctx, name, ev)
+		clientNs := time.Since(start).Nanoseconds()
+		if err != nil {
+			// Rejected batches (beyond embeddable tolerance) end the run:
+			// the server keeps its last good ring.  The journaled
+			// rejection event, when returned, carries the surviving ring.
+			s := sample{repair: "rejected", rejected: true, clientNs: clientNs}
+			if res != nil {
+				s.ringLen = res.Event.RingLength
+				s.serverNs = res.Event.ElapsedNs
+				fmt.Printf("%5d  rejected (ring stays %d): %v\n", i+1, res.Event.RingLength, err)
+			} else {
+				fmt.Printf("%5d  rejected: %v\n", i+1, err)
+			}
+			samples = append(samples, s)
+			break
+		}
+		s := sample{
+			repair:     res.Event.Repair,
+			ringLen:    res.Event.RingLength,
+			lowerBound: res.Event.LowerBound,
+			serverNs:   res.Event.ElapsedNs,
+			clientNs:   clientNs,
+		}
+		samples = append(samples, s)
+		fmt.Printf("%5d  %-8s  %9d  %9d  %12s  %12s\n",
+			i+1, s.repair, s.ringLen, s.lowerBound,
+			time.Duration(s.serverNs), time.Duration(s.clientNs))
+	}
+	report(samples)
+	return nil
+}
+
+// report prints the repair-vs-recompute summary and the degradation
+// curve endpoints.
+func report(samples []sample) {
+	byKind := map[string][]int64{}
+	counts := map[string]int{}
+	for _, s := range samples {
+		counts[s.repair]++
+		byKind[s.repair] = append(byKind[s.repair], s.serverNs)
+	}
+	fmt.Println()
+	fmt.Printf("events: %d  local: %d  reembed: %d  noop: %d  rejected: %d\n",
+		len(samples), counts["local"], counts["reembed"], counts["noop"], counts["rejected"])
+	if changing := counts["local"] + counts["reembed"]; changing > 0 {
+		fmt.Printf("patch hit rate: %.1f%%\n", 100*float64(counts["local"])/float64(changing))
+	}
+	for _, kind := range []string{"local", "reembed"} {
+		lat := byKind[kind]
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum int64
+		for _, v := range lat {
+			sum += v
+		}
+		fmt.Printf("%-8s latency: mean %s  p50 %s  max %s\n", kind,
+			time.Duration(sum/int64(len(lat))),
+			time.Duration(lat[len(lat)/2]),
+			time.Duration(lat[len(lat)-1]))
+	}
+	// Degradation: how much ring the stream cost versus the guarantee.
+	var last *sample
+	for i := range samples {
+		if !samples[i].rejected && samples[i].ringLen > 0 {
+			last = &samples[i]
+		}
+	}
+	if last != nil {
+		fmt.Printf("final ring: %d nodes (guaranteed ≥ %d)\n", last.ringLen, last.lowerBound)
+	}
+}

@@ -1,17 +1,30 @@
 // Command ringsrv serves fault-tolerant ring embedding over HTTP/JSON:
-// the concurrent, memoizing engine of package engine fronted by four
-// endpoints, for any topology the Network interface covers.
+// the concurrent, memoizing engine of package engine fronted by the
+// one-shot embedding endpoints, plus the session subsystem for
+// long-lived fault-evolving topologies.
 //
 //	POST /v1/embed            {"topology":"debruijn(3,3)","node_faults":["020","112"]}
 //	POST /v1/verify           {"topology":"...", "ring":[...], "node_faults":[...], "edge_faults":[...]}
 //	POST /v1/disjoint-cycles  {"topology":"debruijn(4,3)","max_cycles":2}
 //	POST /v1/broadcast        {"topology":"debruijn(4,2)","message_size":12,"rings":3}
-//	GET  /v1/stats            engine cache counters
+//	GET  /v1/stats            engine cache + session repair counters
 //	GET  /healthz
+//
+//	POST   /v1/sessions                create an incremental-repair session
+//	GET    /v1/sessions                list sessions
+//	GET    /v1/sessions/{name}         session state (ring, faults, stats)
+//	DELETE /v1/sessions/{name}         close and remove a session
+//	POST   /v1/sessions/{name}/faults  absorb a fault batch (local repair or re-embed)
+//	GET    /v1/sessions/{name}/watch   stream ring deltas (long-poll or SSE)
 //
 // Usage:
 //
-//	ringsrv -addr :8080 -workers 8 -cache 1024
+//	ringsrv -addr :8080 -workers 8 -cache 1024 -journal /var/lib/ringsrv
+//
+// With -journal set, every session transition is appended to
+// <dir>/<name>.journal and sessions are restored from their journals at
+// startup, so a killed server resumes each session with an identical
+// ring.
 package main
 
 import (
@@ -27,18 +40,32 @@ import (
 	"time"
 
 	"debruijnring/engine"
+	"debruijnring/session"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "embedding worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "LRU entries memoized per (topology, fault set); negative disables")
+	journalDir := flag.String("journal", "", "session journal directory (empty = sessions are in-memory only)")
+	snapshotEvery := flag.Int("snapshot-every", 32, "journal snapshot cadence in fault events")
 	flag.Parse()
 
 	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	sessions := session.NewManager(eng, session.Options{Dir: *journalDir, SnapshotEvery: *snapshotEvery})
+	if *journalDir != "" {
+		restored, errs := sessions.Restore()
+		for _, err := range errs {
+			log.Printf("ringsrv: session restore: %v", err)
+		}
+		if len(restored) > 0 {
+			log.Printf("ringsrv: restored %d session(s) from %s", len(restored), *journalDir)
+		}
+	}
+	defer sessions.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           newServer(eng, sessions),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

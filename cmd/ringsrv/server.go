@@ -9,16 +9,18 @@ import (
 
 	"debruijnring/engine"
 	"debruijnring/internal/broadcast"
+	"debruijnring/session"
 	"debruijnring/topology"
 )
 
-// server wires the embedding engine to the HTTP/JSON surface.
+// server wires the embedding engine and the session manager to the
+// HTTP/JSON surface.
 type server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
 }
 
-func newServer(eng *engine.Engine) *server {
+func newServer(eng *engine.Engine, sessions *session.Manager) *server {
 	s := &server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/embed", s.handleEmbed)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -28,6 +30,11 @@ func newServer(eng *engine.Engine) *server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if sessions != nil {
+		h := session.Handler(sessions)
+		s.mux.Handle("/v1/sessions", h)
+		s.mux.Handle("/v1/sessions/", h)
+	}
 	return s
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -8,13 +9,51 @@ import (
 	"testing"
 
 	"debruijnring/engine"
+	"debruijnring/session"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(engine.New(engine.Options{})))
+	eng := engine.New(engine.Options{})
+	sessions := session.NewManager(eng, session.Options{})
+	ts := httptest.NewServer(newServer(eng, sessions))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// TestSessionEndpointsMounted drives one session through the mounted
+// /v1/sessions surface and checks the repair counters reach /v1/stats.
+func TestSessionEndpointsMounted(t *testing.T) {
+	ts := newTestServer(t)
+	c := &session.Client{Base: ts.URL}
+	ctx := context.Background()
+	st, err := c.Create(ctx, session.CreateRequest{Name: "s", Topology: "debruijn(2,6)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RingLength != 64 {
+		t.Errorf("created ring length %d", st.RingLength)
+	}
+	res, err := c.AddFaults(ctx, "s", session.FaultsRequest{NodeFaults: []string{st.Ring[5]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Event.Repair != "local" && res.Event.Repair != "reembed" {
+		t.Errorf("repair kind %q", res.Event.Repair)
+	}
+
+	var stats engine.EngineStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions.LocalRepairs+stats.Sessions.Reembeds != 1 {
+		t.Errorf("session stats did not reach /v1/stats: %+v", stats.Sessions)
+	}
 }
 
 func postJSON(t *testing.T, url, body string, dst any) int {

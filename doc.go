@@ -58,6 +58,35 @@
 // endpoint reporting cache hit rate and p50/p99 embed latency); command
 // ringembed adds a -batch mode over JSON-lines request files.
 //
+// # Online fault streams
+//
+// The batch path answers one fault set at a time; the session
+// subsystem models the paper's actual regime, where faults arrive
+// after the ring is embedded.  A session (package session) holds a
+// named topology, its current ring and a monotonically growing
+// FaultSet:
+//
+//	mgr := session.NewManager(eng, session.Options{Dir: "/var/lib/rings"})
+//	s, _ := mgr.Create("prod", "debruijn(2,10)", topology.FaultSet{})
+//	ev, _ := s.AddFaults(topology.NodeFaults(x))   // ev.Repair: "local" | "reembed" | "noop"
+//
+// AddFaults attempts a local repair first (package internal/repair):
+// the faulty necklace is spliced out of the live ring by surgery on the
+// FFC algorithm's own structures — detach it from its star, re-parent
+// orphaned children along surviving shift-edge windows, re-close only
+// the touched w-cycles — in O(touched stars) work, preserving the
+// dⁿ − nf bound.  A full Embedder re-embed runs only when the patch
+// fails or the paper's f ≤ n tolerance is exceeded.  Every transition
+// is appended to a journal with ring hashes and periodic snapshots, so
+// a killed server restores each session to a bit-identical ring; the
+// engine's stats report repairs vs re-embeds and the patch hit rate.
+//
+// Over HTTP, ringsrv serves /v1/sessions (CRUD), …/faults (absorb a
+// batch) and …/watch (ring deltas via long-poll or SSE).  Command
+// chaos replays randomized or recorded fault traces against a server
+// and reports repair-vs-recompute latency and the ring-length
+// degradation curve; see examples/faultstream for the in-process view.
+//
 // # Performance
 //
 // The embedding, verification and Monte-Carlo simulation hot paths run

@@ -50,6 +50,7 @@ type Engine struct {
 	evicted  int64
 	lat      []int64 // ns, ring buffer of the last latencySamples requests
 	latPos   int
+	sessions SessionStats
 }
 
 // flight is one in-progress embedding; duplicate concurrent requests for
@@ -182,8 +183,10 @@ func (e *Engine) EmbedRing(ctx context.Context, req Request) (*Result, error) {
 // EmbedBatch serves the requests across the worker pool, returning one
 // Result per request in the same order.  Requests repeating a (topology,
 // fault set) pair are served from cache or collapsed onto the in-flight
-// computation and marked CacheHit.  When ctx is cancelled, not-yet-run
-// requests complete with Err = ctx.Err().
+// computation and marked CacheHit.  Cancellation propagates to every
+// pending request: once ctx is done, queued requests are not dispatched
+// at all and workers stop picking up new work — both complete their
+// results with Err = ctx.Err() instead of running to completion.
 func (e *Engine) EmbedBatch(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
 	jobs := make(chan int)
@@ -197,6 +200,10 @@ func (e *Engine) EmbedBatch(ctx context.Context, reqs []Request) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Err: err}
+					continue
+				}
 				res, err := e.EmbedRing(ctx, reqs[i])
 				if err != nil {
 					results[i] = Result{Err: err}
@@ -206,8 +213,16 @@ func (e *Engine) EmbedBatch(ctx context.Context, reqs []Request) []Result {
 			}
 		}()
 	}
+dispatch:
 	for i := range reqs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(reqs); j++ {
+				results[j] = Result{Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -238,16 +253,67 @@ func (e *Engine) cacheStatsLocked() CacheStats {
 	return s
 }
 
+// RepairKind classifies how one session fault event was served, for the
+// engine's session-aware statistics.
+type RepairKind int
+
+const (
+	// RepairLocal: the fault batch was absorbed by a local ring patch.
+	RepairLocal RepairKind = iota
+	// RepairReembed: local repair declined (or was out of tolerance) and
+	// the session fell back to a full re-embed.
+	RepairReembed
+	// RepairNoop: the faults did not touch the session's ring.
+	RepairNoop
+	// RepairRejected: neither repair nor re-embed could absorb the
+	// faults; the session kept its previous state.
+	RepairRejected
+)
+
+// SessionStats aggregates fault-event outcomes across every session
+// feeding this engine: how often incremental repair beat the full
+// re-embed path.
+type SessionStats struct {
+	LocalRepairs int64 `json:"local_repairs"`
+	Reembeds     int64 `json:"reembeds"`
+	Noops        int64 `json:"noops"`
+	Rejected     int64 `json:"rejected"`
+	// PatchHitRate is LocalRepairs / (LocalRepairs + Reembeds): the
+	// fraction of ring-changing fault events served without a full
+	// re-embed.
+	PatchHitRate float64 `json:"patch_hit_rate"`
+}
+
+// RecordRepair accounts one session fault event.  The session subsystem
+// calls it for every absorbed fault batch so /v1/stats surfaces
+// repair-vs-recompute behavior next to the cache counters.
+func (e *Engine) RecordRepair(kind RepairKind) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch kind {
+	case RepairLocal:
+		e.sessions.LocalRepairs++
+	case RepairReembed:
+		e.sessions.Reembeds++
+	case RepairNoop:
+		e.sessions.Noops++
+	case RepairRejected:
+		e.sessions.Rejected++
+	}
+}
+
 // EngineStats is the observability snapshot served by the stats
-// endpoint: cache counters (flattened), the cache hit rate, and latency
-// percentiles over the most recent served requests.
+// endpoint: cache counters (flattened), the cache hit rate, latency
+// percentiles over the most recent served requests, and the session
+// subsystem's repair-vs-re-embed counters.
 type EngineStats struct {
 	CacheStats
-	Requests       int64   `json:"requests"`
-	HitRate        float64 `json:"hit_rate"`
-	LatencyP50Ns   int64   `json:"latency_p50_ns"`
-	LatencyP99Ns   int64   `json:"latency_p99_ns"`
-	LatencySamples int     `json:"latency_samples"`
+	Requests       int64        `json:"requests"`
+	HitRate        float64      `json:"hit_rate"`
+	LatencyP50Ns   int64        `json:"latency_p50_ns"`
+	LatencyP99Ns   int64        `json:"latency_p99_ns"`
+	LatencySamples int          `json:"latency_samples"`
+	Sessions       SessionStats `json:"sessions"`
 }
 
 // Stats returns a snapshot of the engine's cache and latency behavior.
@@ -257,9 +323,12 @@ type EngineStats struct {
 // sample, so LatencySamples can trail Requests).
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
-	s := EngineStats{CacheStats: e.cacheStatsLocked()}
+	s := EngineStats{CacheStats: e.cacheStatsLocked(), Sessions: e.sessions}
 	lat := append([]int64(nil), e.lat...)
 	e.mu.Unlock()
+	if ringChanging := s.Sessions.LocalRepairs + s.Sessions.Reembeds; ringChanging > 0 {
+		s.Sessions.PatchHitRate = float64(s.Sessions.LocalRepairs) / float64(ringChanging)
+	}
 
 	s.Requests = s.Hits + s.Misses
 	if s.Requests > 0 {

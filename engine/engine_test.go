@@ -157,6 +157,73 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+// blockingNet stalls EmbedRing until released, to pin a worker while a
+// batch is cancelled mid-flight.
+type blockingNet struct {
+	topology.RingEmbedder
+	started chan struct{} // closed when the first embedding begins
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingNet) EmbedRing(f topology.FaultSet) ([]int, *topology.EmbedInfo, error) {
+	b.once.Do(func() { close(b.started) })
+	<-b.release
+	return b.RingEmbedder.EmbedRing(f)
+}
+
+// TestEmbedBatchMidflightCancellation cancels a batch while its single
+// worker is stuck on the first request: every queued request must
+// complete with ctx.Err() instead of being dispatched and embedded.
+func TestEmbedBatchMidflightCancellation(t *testing.T) {
+	db, err := topology.FromSpec("debruijn(3,4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := &blockingNet{
+		RingEmbedder: db,
+		started:      make(chan struct{}),
+		release:      make(chan struct{}),
+	}
+	eng := New(Options{Workers: 1})
+	reqs := make([]Request, 8)
+	reqs[0] = Request{Network: blocker}
+	for i := 1; i < len(reqs); i++ {
+		reqs[i] = Request{Spec: "debruijn(3,4)", Faults: topology.NodeFaults(i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Result, 1)
+	go func() { done <- eng.EmbedBatch(ctx, reqs) }()
+	<-blocker.started
+	cancel()
+	close(blocker.release)
+	results := <-done
+	// Request 0 had already started; it is allowed to finish.  Everything
+	// queued behind it must carry the cancellation error.
+	for i := 1; i < len(results); i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Errorf("request %d: err = %v, want context.Canceled", i, results[i].Err)
+		}
+	}
+}
+
+func TestSessionRepairStats(t *testing.T) {
+	eng := New(Options{})
+	eng.RecordRepair(RepairLocal)
+	eng.RecordRepair(RepairLocal)
+	eng.RecordRepair(RepairLocal)
+	eng.RecordRepair(RepairReembed)
+	eng.RecordRepair(RepairNoop)
+	eng.RecordRepair(RepairRejected)
+	s := eng.Stats().Sessions
+	if s.LocalRepairs != 3 || s.Reembeds != 1 || s.Noops != 1 || s.Rejected != 1 {
+		t.Errorf("session stats = %+v", s)
+	}
+	if s.PatchHitRate != 0.75 {
+		t.Errorf("patch hit rate = %v, want 0.75", s.PatchHitRate)
+	}
+}
+
 func TestEmbedRingErrorsAreNotCached(t *testing.T) {
 	eng := New(Options{})
 	ctx := context.Background()

@@ -3,6 +3,7 @@ package ffc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"debruijnring/internal/debruijn"
 	"debruijnring/internal/netsim"
@@ -64,6 +65,21 @@ type nodeState struct {
 	successor int // computed H-successor (−1 until known)
 }
 
+// distScratch carries the reusable simulation state of one distributed
+// run — the simulator's per-node message buffers, the protocol states
+// and the successor iteration buffer the phase handlers share — so
+// repeated runs (Monte-Carlo sweeps, benchmark loops) reuse one
+// allocation set, extending the dense epoch-stamped scratch discipline
+// of the sequential kernels (PERF.md) to the simulator.  Handlers run
+// sequentially within a round, so one shared successor buffer is safe.
+type distScratch struct {
+	net    *netsim.Network
+	states []nodeState
+	succ   []int
+}
+
+var distPool = sync.Pool{New: func() any { return &distScratch{net: netsim.New(0)} }}
+
 // EmbedDistributed runs the network-level FFC implementation of §2.4 on a
 // simulated synchronous De Bruijn network, rooting the broadcast at the
 // minimal alive necklace representative.
@@ -77,8 +93,14 @@ func EmbedDistributed(g *debruijn.Graph, faults []int) (*DistResult, error) {
 // representative.  The ring spans the component of B(d,n) minus faulty
 // necklaces that contains R.
 func EmbedDistributedFrom(g *debruijn.Graph, faults []int, root int) (*DistResult, error) {
-	net := netsim.New(g.Size)
-	states := make([]nodeState, g.Size)
+	sc := distPool.Get().(*distScratch)
+	defer distPool.Put(sc)
+	sc.net.Reset(g.Size)
+	net := sc.net
+	if cap(sc.states) < g.Size {
+		sc.states = make([]nodeState, g.Size)
+	}
+	states := sc.states[:g.Size]
 	for i := range states {
 		states[i] = nodeState{dist: -1, parent: -1, successor: -1, rep: -1, bestDist: -1}
 	}
@@ -132,9 +154,8 @@ func EmbedDistributedFrom(g *debruijn.Graph, faults []int, root int) (*DistResul
 
 	// --- Phase 2: broadcast from R (K = ecc(R) rounds, Step 1.1). ---
 	states[root].dist = 0
-	var buf []int
-	buf = g.Successors(root, buf)
-	for _, w := range buf {
+	sc.succ = g.Successors(root, sc.succ)
+	for _, w := range sc.succ {
 		if w != root {
 			net.Send(root, w, bcastMsg{Dist: 0})
 		}
@@ -160,9 +181,8 @@ func EmbedDistributedFrom(g *debruijn.Graph, faults []int, root int) (*DistResul
 		}
 		st.dist = dist
 		st.parent = first
-		var succ []int
-		succ = g.Successors(v, succ)
-		for _, w := range succ {
+		sc.succ = g.Successors(v, sc.succ)
+		for _, w := range sc.succ {
 			if w != v {
 				net.Send(v, w, bcastMsg{Dist: dist})
 			}
@@ -238,9 +258,8 @@ func EmbedDistributedFrom(g *debruijn.Graph, faults []int, root int) (*DistResul
 		if !st.alive || st.dist < 0 || !st.isExit {
 			continue
 		}
-		var succ []int
-		succ = g.Successors(x, succ)
-		for _, w := range succ {
+		sc.succ = g.Successors(x, sc.succ)
+		for _, w := range sc.succ {
 			net.Send(x, w, announceMsg{Rep: st.rep, Exit: x})
 		}
 	}

@@ -1,6 +1,7 @@
 package ffc
 
 import (
+	"sync"
 	"testing"
 
 	"debruijnring/internal/debruijn"
@@ -149,9 +150,59 @@ func TestDistributedAllFaulty(t *testing.T) {
 	}
 }
 
+// TestDistributedScratchReuse interleaves runs over different graphs
+// and fault sets (including concurrent ones) and checks the pooled
+// simulation scratch never leaks state between runs: each repetition is
+// bit-identical to a fresh first run.
+func TestDistributedScratchReuse(t *testing.T) {
+	g1 := debruijn.New(2, 6)
+	g2 := debruijn.New(3, 4)
+	ref1, err := EmbedDistributed(g1, []int{5, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different (larger) graph between repetitions dirties the pool.
+	if _, err := EmbedDistributed(g2, []int{7}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := EmbedDistributed(g1, []int{5, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Cycle) != len(ref1.Cycle) || again.Messages != ref1.Messages || again.Rounds != ref1.Rounds {
+		t.Fatalf("pooled rerun diverged: %+v vs %+v", again.Rounds, ref1.Rounds)
+	}
+	for i := range ref1.Cycle {
+		if again.Cycle[i] != ref1.Cycle[i] {
+			t.Fatalf("pooled rerun cycle diverges at %d", i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := EmbedDistributed(g1, []int{5, 40})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Cycle) != len(ref1.Cycle) {
+					t.Errorf("concurrent run cycle length %d != %d", len(res.Cycle), len(ref1.Cycle))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func BenchmarkDistributedB45(b *testing.B) {
 	g := debruijn.New(4, 5)
 	faults := []int{17, 923}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := EmbedDistributed(g, faults); err != nil {

@@ -158,6 +158,17 @@ func LargestComponent(g *debruijn.Graph, alive func(int) bool) (*Component, erro
 	return &Component{Nodes: nodes, MinNode: minNodes[best], Member: member}, nil
 }
 
+// SuffixNode returns the node of the necklace [rep] whose trailing n−1
+// digits equal w (the outgoing node αw of a star labeled w), or −1 if the
+// necklace carries no such window.  Exposed for the incremental ring
+// repair of internal/repair, which re-closes individual stars without
+// rerunning the full algorithm.
+func SuffixNode(g *debruijn.Graph, rep, w int) int { return suffixNode(g, rep, w) }
+
+// PrefixNode returns the node of [rep] whose leading n−1 digits equal w
+// (the incoming node wβ of a star labeled w), or −1.  See SuffixNode.
+func PrefixNode(g *debruijn.Graph, rep, w int) int { return prefixNode(g, rep, w) }
+
 // suffixNode returns the unique node of the necklace [rep] whose trailing
 // n−1 digits equal w (the outgoing node αw), or −1 if none exists.
 func suffixNode(g *debruijn.Graph, rep, w int) int {

@@ -33,12 +33,33 @@ type Network struct {
 
 // New creates a network of n nodes, all alive.
 func New(n int) *Network {
-	return &Network{
-		n:       n,
-		dead:    make([]bool, n),
-		pending: make([][]Message, n),
-		queued:  make([][]Message, n),
+	net := &Network{}
+	net.Reset(n)
+	return net
+}
+
+// Reset returns the network to its initial all-alive, zero-round state
+// for n nodes, reusing the per-node message buffers of previous runs so
+// pooled simulations (see ffc.EmbedDistributed) stop reallocating
+// O(size) inbox bookkeeping per run.
+func (net *Network) Reset(n int) {
+	if cap(net.dead) < n {
+		net.dead = make([]bool, n)
+		net.pending = make([][]Message, n)
+		net.queued = make([][]Message, n)
+	} else {
+		net.dead = net.dead[:n]
+		clear(net.dead)
+		net.pending = net.pending[:n]
+		net.queued = net.queued[:n]
+		for i := 0; i < n; i++ {
+			net.pending[i] = net.pending[i][:0]
+			net.queued[i] = net.queued[i][:0]
+		}
 	}
+	net.n = n
+	net.Round = 0
+	net.MessagesSent = 0
 }
 
 // Size returns the number of nodes.

@@ -101,3 +101,36 @@ func TestSendRangePanics(t *testing.T) {
 	}()
 	net.Send(0, 5, nil)
 }
+
+func TestResetReuse(t *testing.T) {
+	net := New(3)
+	net.Kill(1)
+	net.Send(0, 2, "x")
+	net.Step(func(node int, inbox []Message) {})
+	if net.Round != 1 || net.MessagesSent != 1 {
+		t.Fatalf("pre-reset state: round %d, sent %d", net.Round, net.MessagesSent)
+	}
+
+	net.Reset(3)
+	if net.Round != 0 || net.MessagesSent != 0 {
+		t.Errorf("reset kept counters: round %d, sent %d", net.Round, net.MessagesSent)
+	}
+	if !net.Alive(1) {
+		t.Error("reset kept node 1 dead")
+	}
+	if net.Step(func(node int, inbox []Message) { t.Error("stale message delivered") }) {
+		t.Error("reset network still had mail in flight")
+	}
+
+	// Growing past the previous capacity reallocates cleanly.
+	net.Reset(8)
+	if net.Size() != 8 || !net.Alive(7) {
+		t.Errorf("grown reset: size %d", net.Size())
+	}
+	net.Send(7, 0, "y")
+	delivered := false
+	net.Step(func(node int, inbox []Message) { delivered = node == 0 })
+	if !delivered {
+		t.Error("grown network did not deliver")
+	}
+}

@@ -1,0 +1,290 @@
+// Package repair implements incremental ring repair: given an embedded
+// ring and a batch of newly failed components, it attempts a local patch
+// of the existing ring instead of a full re-embed — the operation behind
+// long-lived fault-evolving sessions (package session).
+//
+// Two patchers are provided.  For De Bruijn networks, a structural
+// patcher operates on the FFC algorithm's own data structures (the
+// necklace spanning tree T, its height-one same-label stars T_w and the
+// Step-3 successor overrides of Rowley–Bose §2.2): removing a faulty
+// necklace detaches it from its parent star, re-parents its orphaned
+// children along other surviving shift-edge labels, and re-closes only
+// the affected w-cycles, so the repaired ring still satisfies
+// Proposition 2.1 and costs O(affected stars) instead of O(dⁿ).  For
+// every other unit-dilation topology, a generic splice patcher cuts the
+// faulted nodes and links out of the ring and reconnects the surviving
+// arcs through direct links or short off-ring bypass paths.
+//
+// A patcher is a stateful, single-goroutine object owned by one session.
+// Patch is best-effort: Patched results still need topology.VerifyRing
+// by the caller, and any Unsupported outcome (or failed verification)
+// must be followed by Embed to re-synchronize the patcher's state with a
+// full re-embed.
+package repair
+
+import (
+	"math/bits"
+
+	"debruijnring/topology"
+)
+
+// Outcome classifies one Patch attempt.
+type Outcome int
+
+const (
+	// Unsupported means the patcher cannot absorb the faults locally;
+	// the caller must fall back to Embed (full re-embed).  The patcher's
+	// incremental state is invalid until Embed succeeds.
+	Unsupported Outcome = iota
+	// Noop means the faults do not touch the current ring (off-component
+	// nodes, already-faulty necklaces, links the ring does not use); the
+	// ring is unchanged.
+	Noop
+	// Patched means the ring was locally repaired; the returned ring
+	// replaces the old one pending the caller's verification.
+	Patched
+)
+
+// String renders the outcome for stats and journal events.
+func (o Outcome) String() string {
+	switch o {
+	case Noop:
+		return "noop"
+	case Patched:
+		return "patched"
+	}
+	return "unsupported"
+}
+
+// Patcher maintains the incremental-repair state of one ring.
+type Patcher interface {
+	// Embed performs a full re-embed for the cumulative fault set f,
+	// resetting the patcher's incremental state.  It is also the initial
+	// embedding of a session.
+	Embed(f topology.FaultSet) ([]int, *topology.EmbedInfo, error)
+	// Patch attempts to absorb the newly added faults (on top of every
+	// fault previously passed to Embed/Patch) by local repair.  On
+	// Patched the returned ring is the candidate replacement; on Noop
+	// the ring is unchanged; on Unsupported the caller must re-Embed.
+	Patch(add topology.FaultSet) ([]int, Outcome)
+	// Snapshot serializes the incremental state needed to resume
+	// patching after a restart (the session persists ring and faults
+	// itself).  A nil snapshot is valid and restores to a state where
+	// every Patch reports Unsupported.
+	Snapshot() ([]byte, error)
+	// Restore reinstates a snapshot taken at the given ring and
+	// cumulative fault set.
+	Restore(state []byte, ring []int, f topology.FaultSet) error
+}
+
+// For returns the patcher suited to net: the FFC structural patcher for
+// De Bruijn networks, the generic splice patcher otherwise.
+func For(net topology.RingEmbedder) Patcher {
+	if db, ok := net.(*topology.DeBruijn); ok {
+		return newFFCPatcher(db)
+	}
+	return &genericPatcher{net: net}
+}
+
+// genericPatcher repairs rings on any unit-dilation topology by cutting
+// out the faulted components and re-splicing the surviving arcs.  Bypass
+// paths run through off-ring survivors only, so it shines once faults
+// have already shrunk the ring below the network size and degrades to
+// Unsupported (→ full re-embed) on a fresh Hamiltonian ring whose cut
+// ends are not directly linked.
+type genericPatcher struct {
+	net    topology.RingEmbedder
+	valid  bool
+	ring   []int
+	faults topology.FaultSet
+}
+
+// maxBypassLen bounds the length of one bypass path: twice the diameter
+// scale log₂(size) covers every adapter in the repo (De Bruijn and Kautz
+// diameters are n, the hypercube's is log₂ size, the butterfly's Θ(n)).
+func (p *genericPatcher) maxBypassLen() int {
+	return 2*bits.Len(uint(p.net.Nodes())) + 2
+}
+
+func (p *genericPatcher) Embed(f topology.FaultSet) ([]int, *topology.EmbedInfo, error) {
+	p.valid = false
+	ring, info, err := p.net.EmbedRing(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.reset(ring, f, info.Dilation)
+	return ring, info, nil
+}
+
+// reset installs a freshly embedded ring.  Dilation-2 closed walks
+// revisit nodes, so splice surgery does not apply to them; the patcher
+// stays invalid and every Patch reports Unsupported.
+func (p *genericPatcher) reset(ring []int, f topology.FaultSet, dilation int) {
+	p.ring = append(p.ring[:0], ring...)
+	p.faults = f.Canonical()
+	p.valid = dilation <= 1 && len(ring) <= p.net.Nodes()
+}
+
+func (p *genericPatcher) Snapshot() ([]byte, error) { return nil, nil }
+
+func (p *genericPatcher) Restore(state []byte, ring []int, f topology.FaultSet) error {
+	// The generic patcher's whole state is (ring, faults).  Dilation is
+	// not persisted; a ring with distinct nodes is exactly the class the
+	// splice surgery applies to.
+	p.reset(ring, f, 1)
+	if p.valid {
+		seen := make(map[int]bool, len(ring))
+		for _, v := range ring {
+			if seen[v] {
+				p.valid = false
+				break
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+func (p *genericPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
+	if !p.valid || len(p.ring) == 0 {
+		return nil, Unsupported
+	}
+	combined := p.faults.Union(add)
+	undirected := topology.Undirected(p.net)
+	badNode := combined.NodeSet()
+	badEdge := combined.EdgeSet()
+	edgeCut := func(u, v int) bool {
+		if badEdge[topology.Edge{From: u, To: v}] {
+			return true
+		}
+		return undirected && badEdge[topology.Edge{From: v, To: u}]
+	}
+
+	k := len(p.ring)
+	hit := false
+	for i, v := range p.ring {
+		if badNode[v] || edgeCut(v, p.ring[(i+1)%k]) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		p.faults = combined
+		return nil, Noop
+	}
+
+	// Cut the ring into surviving arcs.  Start the scan just past a
+	// severed hop so segments never straddle the wrap-around.
+	s := 0
+	for i := 0; i < k; i++ {
+		prev := p.ring[(i-1+k)%k]
+		if badNode[prev] || edgeCut(prev, p.ring[i]) {
+			s = i
+			break
+		}
+	}
+	var segments [][]int
+	var cur []int
+	for j := 0; j < k; j++ {
+		v := p.ring[(s+j)%k]
+		if badNode[v] {
+			if len(cur) > 0 {
+				segments = append(segments, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, v)
+		if next := p.ring[(s+j+1)%k]; !badNode[next] && edgeCut(v, next) {
+			segments = append(segments, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		segments = append(segments, cur)
+	}
+	if len(segments) == 0 {
+		p.valid = false
+		return nil, Unsupported
+	}
+
+	// Reconnect consecutive arcs in ring order: a direct surviving link,
+	// or a bypass path through fault-free nodes not already in use.
+	used := make(map[int]bool, k)
+	for _, seg := range segments {
+		for _, v := range seg {
+			used[v] = true
+		}
+	}
+	newRing := make([]int, 0, k)
+	for gi, seg := range segments {
+		newRing = append(newRing, seg...)
+		tail := seg[len(seg)-1]
+		head := segments[(gi+1)%len(segments)][0]
+		path, ok := p.bypass(tail, head, badNode, edgeCut, used)
+		if !ok {
+			p.valid = false
+			return nil, Unsupported
+		}
+		newRing = append(newRing, path...)
+	}
+	p.ring = newRing
+	p.faults = combined
+	return append([]int(nil), newRing...), Patched
+}
+
+// bypass finds a path from tail to head whose interior avoids faulty and
+// already-used nodes, shorter than maxBypassLen hops.  It returns the
+// interior nodes (empty for a direct link) and marks them used.
+func (p *genericPatcher) bypass(tail, head int, badNode map[int]bool, edgeCut func(int, int) bool, used map[int]bool) ([]int, bool) {
+	if tail == head {
+		// A single one-node segment closing on itself needs a self-loop,
+		// which no adapter's verification accepts as a ring.
+		return nil, false
+	}
+	if p.net.IsEdge(tail, head) && !edgeCut(tail, head) {
+		return nil, true
+	}
+	limit := p.maxBypassLen()
+	prev := map[int]int{tail: -1}
+	frontier := []int{tail}
+	var buf []int
+	for depth := 0; depth < limit && len(frontier) > 0; depth++ {
+		var next []int
+		for _, u := range frontier {
+			buf = p.net.Successors(u, buf)
+			for _, w := range buf {
+				if w == u || edgeCut(u, w) {
+					continue
+				}
+				if w == head {
+					if u == tail {
+						continue // direct link already rejected (faulty)
+					}
+					// Reconstruct the interior path u … tail, reversed.
+					var path []int
+					for x := u; x != tail; x = prev[x] {
+						path = append(path, x)
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					for _, x := range path {
+						used[x] = true
+					}
+					return path, true
+				}
+				if badNode[w] || used[w] {
+					continue
+				}
+				if _, seen := prev[w]; seen {
+					continue
+				}
+				prev[w] = u
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}

@@ -1,0 +1,130 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client talks to the /v1/sessions API of a ringsrv instance — the
+// programmatic counterpart of the HTTP handler, used by the chaos CLI
+// and integration tests.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, dst any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		// Rejected fault batches return 422 with a full FaultsResponse;
+		// decode it so callers see the journaled rejection event.
+		if dst != nil {
+			json.Unmarshal(data, dst)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if dst == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// Create starts a session on the server.
+func (c *Client) Create(ctx context.Context, req CreateRequest) (*StateJSON, error) {
+	var st StateJSON
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// State fetches a session's current state (ring included).
+func (c *Client) State(ctx context.Context, name string) (*StateJSON, error) {
+	var st StateJSON
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(name), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches the session summaries.
+func (c *Client) List(ctx context.Context) ([]StateJSON, error) {
+	var out []StateJSON
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AddFaults streams one fault batch into the session.  A rejected batch
+// (the server kept its last good ring) returns the journaled rejection
+// event alongside the error.
+func (c *Client) AddFaults(ctx context.Context, name string, req FaultsRequest) (*FaultsResponse, error) {
+	var out FaultsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(name)+"/faults", req, &out)
+	if err != nil {
+		if out.Event.Kind != "" {
+			return &out, err
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Watch long-polls for events after the given sequence number.
+func (c *Client) Watch(ctx context.Context, name string, after uint64, wait time.Duration) (*WatchResponse, error) {
+	path := "/v1/sessions/" + url.PathEscape(name) + "/watch?after=" +
+		strconv.FormatUint(after, 10) + "&wait=" + url.QueryEscape(wait.String())
+	var out WatchResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete removes the session (journal included).
+func (c *Client) Delete(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(name), nil, nil)
+}

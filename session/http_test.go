@@ -1,0 +1,212 @@
+package session
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"debruijnring/engine"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(engine.New(engine.Options{}), opts)
+	ts := httptest.NewServer(Handler(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+	})
+	return ts, m
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Dir: t.TempDir()})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	st, err := c.Create(ctx, CreateRequest{Name: "s1", Topology: "debruijn(2,6)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RingLength != 64 || len(st.Ring) != 64 || st.Seq != 1 {
+		t.Errorf("created state = len %d ring %d seq %d", st.RingLength, len(st.Ring), st.Seq)
+	}
+	// Duplicate name → 409.
+	if _, err := c.Create(ctx, CreateRequest{Name: "s1", Topology: "debruijn(2,6)"}); err == nil ||
+		!strings.Contains(err.Error(), "409") {
+		t.Errorf("duplicate create: %v", err)
+	}
+	// Bad requests → 4xx.
+	if _, err := c.Create(ctx, CreateRequest{Name: "s?", Topology: "debruijn(2,6)"}); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if _, err := c.Create(ctx, CreateRequest{Name: "s2", Topology: "debruijn(2,6)",
+		NodeFaults: []string{"zz"}}); err == nil {
+		t.Error("bad fault label accepted")
+	}
+
+	// Stream a fault batch; the ring of B(2,6) contains "000001".
+	res, err := c.AddFaults(ctx, "s1", FaultsRequest{NodeFaults: []string{"000001"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Event.Kind != "fault" || res.Event.Seq != 2 {
+		t.Errorf("fault event = %+v", res.Event)
+	}
+	if res.Event.Repair != "local" && res.Event.Repair != "reembed" {
+		t.Errorf("repair kind = %q", res.Event.Repair)
+	}
+	if res.State.RingLength >= 64 || res.State.LowerBound != 64-6 {
+		t.Errorf("state after fault = %+v", res.State)
+	}
+
+	list, err := c.List(ctx)
+	if err != nil || len(list) != 1 || list[0].Name != "s1" {
+		t.Errorf("list = %+v, %v", list, err)
+	}
+	got, err := c.State(ctx, "s1")
+	if err != nil || got.Seq != 2 || len(got.NodeFaults) != 1 {
+		t.Errorf("state = %+v, %v", got, err)
+	}
+
+	if err := c.Delete(ctx, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.State(ctx, "s1"); err == nil {
+		t.Error("deleted session still served")
+	}
+}
+
+func TestHTTPWatchLongPoll(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	if _, err := c.Create(ctx, CreateRequest{Name: "w", Topology: "debruijn(2,6)"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Events up to the initial embed are immediately available.
+	wr, err := c.Watch(ctx, "w", 0, 0)
+	if err != nil || len(wr.Events) != 1 || wr.Events[0].Kind != "embed" {
+		t.Fatalf("watch = %+v, %v", wr, err)
+	}
+
+	// A blocked long-poll wakes on the next fault event.
+	type watchResult struct {
+		wr  *WatchResponse
+		err error
+	}
+	done := make(chan watchResult, 1)
+	go func() {
+		wr, err := c.Watch(ctx, "w", 1, 5*time.Second)
+		done <- watchResult{wr, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s, _ := m.Get("w")
+	ring := s.Ring()
+	if _, err := c.AddFaults(ctx, "w", FaultsRequest{
+		NodeFaults: []string{s.Network().Label(ring[5])}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil || len(r.wr.Events) != 1 || r.wr.Events[0].Seq != 2 {
+			t.Errorf("long-poll = %+v, %v", r.wr, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+
+	// Unknown session → 404.
+	if _, err := c.Watch(ctx, "nope", 0, 0); err == nil {
+		t.Error("watch on missing session succeeded")
+	}
+}
+
+func TestHTTPWatchSSE(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	if _, err := c.Create(ctx, CreateRequest{Name: "sse", Topology: "debruijn(2,6)"}); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/sessions/sse/watch", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Feed one fault while the stream is open.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s, _ := m.Get("sse")
+		ring := s.Ring()
+		c.AddFaults(ctx, "sse", FaultsRequest{NodeFaults: []string{s.Network().Label(ring[3])}})
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var kinds []string
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for len(kinds) < 2 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream closed early; got %v", kinds)
+			}
+			if strings.HasPrefix(line, "event: ") {
+				kinds = append(kinds, strings.TrimPrefix(line, "event: "))
+			}
+		case <-deadline:
+			t.Fatalf("timed out; got %v", kinds)
+		}
+	}
+	if kinds[0] != "embed" || kinds[1] != "fault" {
+		t.Errorf("SSE event kinds = %v, want [embed fault]", kinds)
+	}
+}
+
+// TestHTTPRejectedBatchReturnsEvent pins the 422 path: a fault batch the
+// embedder cannot serve returns the journaled rejection event to the
+// client alongside the error, and the session keeps its ring.
+func TestHTTPRejectedBatchReturnsEvent(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	// Q4 tolerates n−2 = 2 node faults; start at the limit.
+	st, err := c.Create(ctx, CreateRequest{Name: "rej", Topology: "hypercube(4)",
+		NodeFaults: []string{"0000", "0001"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AddFaults(ctx, "rej", FaultsRequest{NodeFaults: []string{"0101", "1001"}})
+	if err == nil {
+		t.Fatal("over-tolerance batch unexpectedly accepted")
+	}
+	if res == nil || res.Event.Repair != "rejected" || res.Event.Error == "" {
+		t.Fatalf("rejection event not returned: %+v", res)
+	}
+	if res.Event.RingLength != st.RingLength {
+		t.Errorf("rejection event ring %d, want unchanged %d", res.Event.RingLength, st.RingLength)
+	}
+	after, err := c.State(ctx, "rej")
+	if err != nil || after.RingHash != st.RingHash {
+		t.Errorf("session ring changed after rejection: %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+package session
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"debruijnring/engine"
+	"debruijnring/internal/repair"
+	"debruijnring/topology"
+)
+
+// Options configures a Manager.  The zero value keeps sessions
+// in-memory only.
+type Options struct {
+	// Dir is the journal directory; "" disables persistence.
+	Dir string
+	// SnapshotEvery is the fault-event cadence of full-state snapshots
+	// in the journal (default 32).  Snapshots bound the replay work of a
+	// Restore; between them replay re-runs the deterministic repair
+	// decisions and verifies every ring hash.
+	SnapshotEvery int
+	// EventBuffer is the per-session count of retained events served to
+	// watchers (default 256).
+	EventBuffer int
+}
+
+// Manager owns the live sessions of one process and their journals.
+type Manager struct {
+	eng  *engine.Engine // session-stats sink; may be nil
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewManager returns a Manager recording repair outcomes into eng (nil
+// disables the engine coupling).
+func NewManager(eng *engine.Engine, opts Options) *Manager {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 32
+	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = 256
+	}
+	return &Manager{eng: eng, opts: opts, sessions: make(map[string]*Session)}
+}
+
+// Create starts a session: resolve the topology, run the initial embed
+// around the (possibly empty) starting fault set, and open its journal.
+func (m *Manager) Create(name, spec string, faults topology.FaultSet) (*Session, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("session: invalid name %q (want %s)", name, nameRE)
+	}
+	net, err := topology.FromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	faults = faults.Canonical()
+	if err := faults.Validate(net); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if _, ok := m.sessions[name]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", errSessionExists, name)
+	}
+	// Reserve the name while the initial embed runs outside the lock.
+	m.sessions[name] = nil
+	m.mu.Unlock()
+	s, err := m.create(name, spec, net, faults)
+	m.mu.Lock()
+	if err != nil {
+		delete(m.sessions, name)
+	} else {
+		m.sessions[name] = s
+	}
+	m.mu.Unlock()
+	return s, err
+}
+
+func (m *Manager) create(name, spec string, net topology.RingEmbedder, faults topology.FaultSet) (*Session, error) {
+	s := &Session{
+		name:    name,
+		spec:    spec,
+		net:     net,
+		mgr:     m,
+		patcher: repair.For(net),
+		notify:  make(chan struct{}),
+	}
+	ring, info, err := s.patcher.Embed(faults)
+	if err != nil {
+		return nil, err
+	}
+	s.faults = faults
+	s.ring = append([]int(nil), ring...)
+	s.rounds = info.Rounds
+
+	if m.opts.Dir != "" {
+		s.journal, err = createJournal(m.opts.Dir, name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	now := time.Now().UTC()
+	s.journal.append(Event{
+		Seq: 0, Time: now, Kind: "created",
+		Name: name, Spec: spec,
+		FaultNodes: faults.Nodes, FaultEdges: encodeEdges(faults.Edges),
+	})
+	// The initial embed is not a repair decision; it is journaled and
+	// published for watchers but stays out of the engine's
+	// repair-vs-re-embed counters.
+	embedEv := Event{
+		Kind:       "embed",
+		Repair:     "reembed",
+		RingLength: len(s.ring),
+		LowerBound: s.lowerBoundFor(faults),
+		FaultCount: len(faults.Nodes) + len(faults.Edges),
+		RingHash:   ringHash(s.ring),
+	}
+	s.mu.Lock()
+	s.seq++
+	embedEv.Seq = s.seq
+	embedEv.Time = now
+	s.stats.Events++
+	s.publishLocked(embedEv)
+	s.journal.append(embedEv)
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Get returns the named session.
+func (m *Manager) Get(name string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[name]
+	if s == nil {
+		return nil, false
+	}
+	return s, ok
+}
+
+// List returns the live sessions sorted by name.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Delete closes the named session and removes its journal.
+func (m *Manager) Delete(name string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[name]
+	if ok && s != nil {
+		// A nil entry is an in-progress Create's name reservation; leave
+		// it for that Create to resolve.
+		delete(m.sessions, name)
+	}
+	m.mu.Unlock()
+	if !ok || s == nil {
+		return fmt.Errorf("session: no session %q", name)
+	}
+	s.mu.Lock()
+	s.closeLocked(false)
+	s.mu.Unlock()
+	if m.opts.Dir != "" {
+		if err := os.Remove(journalPath(m.opts.Dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close snapshots and closes every session (journals stay on disk for
+// the next Restore).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			sessions = append(sessions, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		s.closeLocked(true)
+		s.mu.Unlock()
+	}
+}
+
+// Restore loads every journal in the manager's directory, resuming each
+// session at its exact pre-crash state: jump to the latest snapshot
+// (ring + faults + patcher structure), then deterministically replay
+// the fault events after it, verifying each recorded ring hash.  It
+// returns the sessions restored; journals that fail to restore are
+// reported in errs by filename and left untouched on disk.
+func (m *Manager) Restore() (restored []*Session, errs []error) {
+	if m.opts.Dir == "" {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(m.opts.Dir, "*"+journalExt))
+	if err != nil {
+		return nil, []error{err}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), journalExt)
+		m.mu.Lock()
+		_, exists := m.sessions[name]
+		m.mu.Unlock()
+		if exists {
+			continue // already live (restored earlier or just created)
+		}
+		s, err := m.restoreOne(path, name)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", filepath.Base(path), err))
+			continue
+		}
+		m.mu.Lock()
+		m.sessions[name] = s
+		m.mu.Unlock()
+		restored = append(restored, s)
+	}
+	return restored, errs
+}
+
+func (m *Manager) restoreOne(path, name string) (*Session, error) {
+	events, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	created := events[0]
+	if created.Kind != "created" || created.Name != name {
+		return nil, fmt.Errorf("journal does not begin with a matching created event")
+	}
+	net, err := topology.FromSpec(created.Spec)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		name:    name,
+		spec:    created.Spec,
+		net:     net,
+		mgr:     m,
+		patcher: repair.For(net),
+		notify:  make(chan struct{}),
+	}
+
+	// Find the most recent snapshot to resume from; fall back to the
+	// initial embed if a snapshot fails to restore.
+	start := 0
+	snap := -1
+	for i, ev := range events {
+		if ev.Kind == "snapshot" {
+			snap = i
+		}
+	}
+	if snap >= 0 {
+		ev := events[snap]
+		faults := topology.FaultSet{Nodes: ev.FaultNodes, Edges: decodeEdges(ev.FaultEdges)}.Canonical()
+		if err := s.patcher.Restore(ev.Patcher, ev.Ring, faults); err == nil {
+			s.faults = faults
+			s.ring = append([]int(nil), ev.Ring...)
+			s.seq = ev.Seq
+			if ev.Stats != nil {
+				s.stats = *ev.Stats
+			}
+			start = snap + 1
+		} else {
+			snap = -1
+		}
+	}
+	if snap < 0 {
+		// Replay from creation: re-run the initial embed.
+		faults := topology.FaultSet{Nodes: created.FaultNodes, Edges: decodeEdges(created.FaultEdges)}.Canonical()
+		ring, info, err := s.patcher.Embed(faults)
+		if err != nil {
+			return nil, fmt.Errorf("initial embed replay: %w", err)
+		}
+		s.faults = faults
+		s.ring = append([]int(nil), ring...)
+		s.rounds = info.Rounds
+		start = 1
+	}
+
+	// Deterministically replay the fault events, verifying every hash.
+	for _, ev := range events[start:] {
+		switch ev.Kind {
+		case "embed":
+			if got := ringHash(s.ring); ev.RingHash != "" && got != ev.RingHash {
+				return nil, fmt.Errorf("seq %d: replayed embed hash %s != journaled %s", ev.Seq, got, ev.RingHash)
+			}
+			s.seq = ev.Seq
+			s.stats.Events++
+		case "fault":
+			add := topology.FaultSet{Nodes: ev.AddNodes, Edges: decodeEdges(ev.AddEdges)}
+			got, err := s.applyFaultsLocked(add, false)
+			if ev.Repair == "rejected" {
+				if err == nil {
+					return nil, fmt.Errorf("seq %d: journaled rejection replayed as %s", ev.Seq, got.Repair)
+				}
+			} else if err != nil {
+				return nil, fmt.Errorf("seq %d: replay failed: %w", ev.Seq, err)
+			}
+			if got != nil && ev.RingHash != "" && got.RingHash != ev.RingHash {
+				return nil, fmt.Errorf("seq %d: replayed ring hash %s != journaled %s", ev.Seq, got.RingHash, ev.RingHash)
+			}
+			s.seq = ev.Seq // keep the original numbering even across gaps
+		case "snapshot":
+			// Stale snapshot before the resume point, or one we skipped.
+		}
+	}
+
+	if m.opts.Dir != "" {
+		s.journal, err = openJournal(m.opts.Dir, name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,498 @@
+// Package session manages long-lived fault-evolving topologies: where
+// the engine package answers one-shot "embed a ring around these
+// faults" requests, a session holds a named topology whose fault set
+// only grows — the paper's actual operating regime, in which processors
+// and links fail one after another while the ring keeps carrying
+// traffic.
+//
+// Each AddFaults call first attempts a local repair of the current ring
+// (package internal/repair: splice the faulted necklaces out along
+// surviving shift-edge labels), falling back to a full re-embed only
+// when the patch fails or the paper's f ≤ n fault bound is exceeded.
+// Every transition appends an event to the session's journal — fault
+// batch, repair kind, ring delta, ring hash — and periodic snapshots
+// capture the full state, so a Manager pointed at the same directory
+// after a crash resumes every session with an identical ring (replay is
+// deterministic and verified hash-by-hash).  Watchers stream the same
+// events over long-poll or SSE via the HTTP handler in this package.
+package session
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"time"
+
+	"debruijnring/engine"
+	"debruijnring/internal/repair"
+	"debruijnring/topology"
+)
+
+// Event is one journaled (and watchable) session transition.  The same
+// structure serves as the journal line format, the long-poll/SSE payload
+// and the AddFaults result.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind is "created", "embed" (the initial embedding), "fault" (one
+	// absorbed fault batch) or "snapshot" (journal-only state capture).
+	Kind string `json:"kind"`
+
+	// created events:
+	Name string `json:"name,omitempty"`
+	Spec string `json:"spec,omitempty"`
+
+	// fault events: the canonicalized batch added this event and how it
+	// was served ("local", "reembed", "noop", "rejected").
+	AddNodes []int    `json:"add_nodes,omitempty"`
+	AddEdges [][2]int `json:"add_edges,omitempty"`
+	Repair   string   `json:"repair,omitempty"`
+	Error    string   `json:"error,omitempty"`
+
+	// Ring bookkeeping after the event: length, the paper's lower bound,
+	// cumulative deduplicated fault count, and an FNV-64a hash of the
+	// ring used to verify deterministic journal replay.
+	RingLength int    `json:"ring_length,omitempty"`
+	LowerBound int    `json:"lower_bound,omitempty"`
+	FaultCount int    `json:"fault_count,omitempty"`
+	RingHash   string `json:"ring_hash,omitempty"`
+	ElapsedNs  int64  `json:"elapsed_ns,omitempty"`
+
+	// Ring delta: nodes that left and (re-embeds only) rejoined the
+	// ring.  Omitted when larger than deltaLimit, flagged by
+	// DeltaTruncated.
+	Removed        []int `json:"removed,omitempty"`
+	Added          []int `json:"added,omitempty"`
+	DeltaTruncated bool  `json:"delta_truncated,omitempty"`
+
+	// snapshot events (journal-only): the full state to resume from.
+	Ring       []int           `json:"ring,omitempty"`
+	FaultNodes []int           `json:"fault_nodes,omitempty"`
+	FaultEdges [][2]int        `json:"fault_edges,omitempty"`
+	Patcher    json.RawMessage `json:"patcher,omitempty"`
+	Stats      *Stats          `json:"stats,omitempty"`
+}
+
+// deltaLimit bounds the Removed/Added lists carried on events; larger
+// deltas report lengths only.
+const deltaLimit = 128
+
+// Stats counts a session's fault events by outcome.
+type Stats struct {
+	Events       int64 `json:"events"`
+	LocalRepairs int64 `json:"local_repairs"`
+	Reembeds     int64 `json:"reembeds"`
+	Noops        int64 `json:"noops"`
+	Rejected     int64 `json:"rejected"`
+}
+
+// Session is one fault-evolving topology with its current ring.  All
+// methods are safe for concurrent use.
+type Session struct {
+	name string
+	spec string
+	net  topology.RingEmbedder
+	mgr  *Manager
+
+	mu        sync.Mutex
+	patcher   repair.Patcher
+	faults    topology.FaultSet
+	ring      []int
+	rounds    int // broadcast rounds of the last full embed
+	seq       uint64
+	stats     Stats
+	journal   *journalWriter // nil when persistence is off
+	sinceSnap int
+	closed    bool
+
+	// events is a bounded buffer of recent events for watchers; notify
+	// is closed and replaced on every publish.
+	events []Event
+	notify chan struct{}
+}
+
+// Name returns the session's unique name.
+func (s *Session) Name() string { return s.name }
+
+// Spec returns the topology spec the session was created with.
+func (s *Session) Spec() string { return s.spec }
+
+// Network returns the session's topology.
+func (s *Session) Network() topology.RingEmbedder { return s.net }
+
+// State is a point-in-time snapshot of a session.
+type State struct {
+	Name       string   `json:"name"`
+	Spec       string   `json:"spec"`
+	Seq        uint64   `json:"seq"`
+	Ring       []int    `json:"ring,omitempty"`
+	RingLength int      `json:"ring_length"`
+	LowerBound int      `json:"lower_bound"`
+	RingHash   string   `json:"ring_hash"`
+	FaultNodes []int    `json:"fault_nodes,omitempty"`
+	FaultEdges [][2]int `json:"fault_edges,omitempty"`
+	Stats      Stats    `json:"stats"`
+}
+
+// StateSnapshot returns the session's current state.  includeRing
+// controls whether the (possibly large) ring itself is copied.
+func (s *Session) StateSnapshot(includeRing bool) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{
+		Name:       s.name,
+		Spec:       s.spec,
+		Seq:        s.seq,
+		RingLength: len(s.ring),
+		LowerBound: s.lowerBoundLocked(),
+		RingHash:   ringHash(s.ring),
+		FaultNodes: append([]int(nil), s.faults.Nodes...),
+		FaultEdges: encodeEdges(s.faults.Edges),
+		Stats:      s.stats,
+	}
+	if includeRing {
+		st.Ring = append([]int(nil), s.ring...)
+	}
+	return st
+}
+
+// IsClosed reports whether the session has been deleted or shut down;
+// watchers use it to end their streams instead of spinning on the
+// immediately-returning EventsSince.
+func (s *Session) IsClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Ring returns a copy of the current ring.
+func (s *Session) Ring() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.ring...)
+}
+
+// Faults returns the cumulative canonical fault set.
+func (s *Session) Faults() topology.FaultSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// lowerBoundLocked is the guaranteed minimum ring length under the
+// current fault load; see lowerBoundFor.
+func (s *Session) lowerBoundLocked() int { return s.lowerBoundFor(s.faults) }
+
+// withinToleranceLocked gates local repair on the paper's f ≤ n bound
+// for De Bruijn sessions (beyond it the dⁿ − nf guarantee degrades and
+// the full algorithm should re-balance the ring); other topologies
+// always try the patch.
+func (s *Session) withinToleranceLocked(combined topology.FaultSet) bool {
+	db, ok := s.net.(*topology.DeBruijn)
+	if !ok {
+		return true
+	}
+	return len(combined.Nodes) <= db.WordLen()
+}
+
+// AddFaults absorbs one batch of newly failed components.  It attempts
+// a local repair of the current ring, falls back to a full re-embed,
+// journals the transition and wakes watchers.  On error the session
+// keeps its previous ring and fault set (the event is still journaled
+// as rejected so replay stays faithful).
+func (s *Session) AddFaults(add topology.FaultSet) (*Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session %q is closed", s.name)
+	}
+	if err := add.Validate(s.net); err != nil {
+		return nil, err
+	}
+	ev, err := s.applyFaultsLocked(add, true)
+	if ev != nil && s.journal != nil {
+		if s.sinceSnap >= s.mgr.opts.SnapshotEvery {
+			s.writeSnapshotLocked()
+		}
+	}
+	return ev, err
+}
+
+// applyFaultsLocked runs the repair lifecycle for one validated fault
+// batch.  With record=false (journal replay) nothing is written and the
+// engine's counters stay untouched; the decision path is deterministic,
+// so replay reproduces the live rings exactly.
+func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event, error) {
+	start := time.Now()
+	add = add.Canonical()
+	newOnly := add.Minus(s.faults)
+	combined := s.faults.Union(add)
+
+	ev := &Event{
+		Kind:       "fault",
+		AddNodes:   append([]int(nil), add.Nodes...),
+		AddEdges:   encodeEdges(add.Edges),
+		FaultCount: len(combined.Nodes) + len(combined.Edges),
+	}
+
+	var ring []int
+	var embedErr error
+	switch {
+	case newOnly.IsEmpty():
+		ev.Repair = "noop"
+	default:
+		if s.withinToleranceLocked(combined) {
+			if r, outcome := s.patcher.Patch(newOnly); outcome == repair.Noop {
+				ev.Repair = "noop"
+			} else if outcome == repair.Patched &&
+				topology.VerifyRing(s.net, r, combined) &&
+				len(r) >= s.lowerBoundFor(combined) {
+				ev.Repair = "local"
+				ring = r
+			}
+		}
+		if ev.Repair == "" {
+			r, info, err := s.patcher.Embed(combined)
+			if err != nil {
+				embedErr = err
+			} else {
+				ev.Repair = "reembed"
+				ring = r
+				s.rounds = info.Rounds
+			}
+		}
+	}
+
+	if embedErr != nil {
+		// Neither patch nor re-embed absorbed the batch: keep the old
+		// state, journal the rejection (replay must take the same path).
+		ev.Repair = "rejected"
+		ev.Error = embedErr.Error()
+		ev.RingLength = len(s.ring)
+		ev.RingHash = ringHash(s.ring)
+		s.finishEventLocked(ev, start, record, engine.RepairRejected)
+		s.stats.Rejected++
+		return ev, embedErr
+	}
+
+	if ring != nil {
+		ev.Removed, ev.Added, ev.DeltaTruncated = ringDelta(s.ring, ring)
+		s.ring = ring
+	}
+	s.faults = combined
+	ev.RingLength = len(s.ring)
+	ev.LowerBound = s.lowerBoundFor(combined)
+	ev.RingHash = ringHash(s.ring)
+
+	var kind engine.RepairKind
+	switch ev.Repair {
+	case "local":
+		kind = engine.RepairLocal
+		s.stats.LocalRepairs++
+	case "reembed":
+		kind = engine.RepairReembed
+		s.stats.Reembeds++
+	default:
+		kind = engine.RepairNoop
+		s.stats.Noops++
+	}
+	s.finishEventLocked(ev, start, record, kind)
+	return ev, nil
+}
+
+// lowerBoundFor computes the De Bruijn dⁿ − nf bound for a prospective
+// fault set (0 for other topologies or when vacuous; other topologies'
+// bounds live on their own embed info).
+func (s *Session) lowerBoundFor(f topology.FaultSet) int {
+	db, ok := s.net.(*topology.DeBruijn)
+	if !ok {
+		return 0
+	}
+	b := db.Nodes() - db.WordLen()*len(f.Nodes)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// finishEventLocked stamps, sequences, publishes and (when record is
+// set) journals one event and feeds the engine's session counters.
+func (s *Session) finishEventLocked(ev *Event, start time.Time, record bool, kind engine.RepairKind) {
+	s.seq++
+	ev.Seq = s.seq
+	ev.Time = time.Now().UTC()
+	ev.ElapsedNs = time.Since(start).Nanoseconds()
+	s.stats.Events++
+	s.sinceSnap++
+	s.publishLocked(*ev)
+	if record {
+		if s.journal != nil {
+			s.journal.append(*ev)
+		}
+		if s.mgr != nil && s.mgr.eng != nil {
+			s.mgr.eng.RecordRepair(kind)
+		}
+	}
+}
+
+// publishLocked appends the event to the watch buffer and wakes every
+// waiting watcher.
+func (s *Session) publishLocked(ev Event) {
+	if limit := s.mgr.opts.EventBuffer; len(s.events) >= limit {
+		s.events = append(s.events[:0], s.events[len(s.events)-limit+1:]...)
+	}
+	s.events = append(s.events, ev)
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// EventsSince returns buffered events with Seq > after.  When none are
+// available it blocks up to wait (0 = return immediately) for the next
+// publish.  truncated reports that older events have been evicted from
+// the buffer: the watcher should refetch the full session state.
+func (s *Session) EventsSince(after uint64, wait time.Duration, cancel <-chan struct{}) (evs []Event, truncated bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		if len(s.events) > 0 && s.events[0].Seq > after+1 {
+			truncated = true
+		}
+		for _, ev := range s.events {
+			if ev.Seq > after {
+				evs = append(evs, ev)
+			}
+		}
+		notify := s.notify
+		closed := s.closed
+		s.mu.Unlock()
+		if len(evs) > 0 || closed || wait <= 0 {
+			return evs, truncated
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, truncated
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+			return nil, truncated
+		case <-cancel:
+			timer.Stop()
+			return nil, truncated
+		}
+	}
+}
+
+// writeSnapshotLocked appends a journal-only snapshot event capturing
+// the full session state (ring, faults, patcher structure), resetting
+// the replay horizon.
+func (s *Session) writeSnapshotLocked() {
+	if s.journal == nil {
+		return
+	}
+	state, err := s.patcher.Snapshot()
+	if err != nil {
+		state = nil
+	}
+	stats := s.stats
+	s.journal.append(Event{
+		Seq:        s.seq,
+		Time:       time.Now().UTC(),
+		Kind:       "snapshot",
+		RingHash:   ringHash(s.ring),
+		RingLength: len(s.ring),
+		Ring:       s.ring,
+		FaultNodes: s.faults.Nodes,
+		FaultEdges: encodeEdges(s.faults.Edges),
+		Patcher:    state,
+		Stats:      &stats,
+	})
+	s.sinceSnap = 0
+}
+
+// closeLocked marks the session closed, optionally writing a final
+// snapshot, and releases the journal handle.
+func (s *Session) closeLocked(snapshot bool) {
+	if s.closed {
+		return
+	}
+	if snapshot && s.sinceSnap > 0 {
+		s.writeSnapshotLocked()
+	}
+	if s.journal != nil {
+		s.journal.close()
+		s.journal = nil
+	}
+	s.closed = true
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// ringHash is an FNV-64a digest of the ring's node sequence, rendered in
+// hex; journal replay verifies restored rings against it.
+func ringHash(ring []int) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range ring {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// ringDelta diffs two rings as node sets, truncating large deltas.
+func ringDelta(old, cur []int) (removed, added []int, truncated bool) {
+	inOld := make(map[int]bool, len(old))
+	for _, v := range old {
+		inOld[v] = true
+	}
+	inNew := make(map[int]bool, len(cur))
+	for _, v := range cur {
+		inNew[v] = true
+	}
+	for _, v := range old {
+		if !inNew[v] {
+			removed = append(removed, v)
+		}
+	}
+	for _, v := range cur {
+		if !inOld[v] {
+			added = append(added, v)
+		}
+	}
+	if len(removed)+len(added) > deltaLimit {
+		return nil, nil, true
+	}
+	return removed, added, false
+}
+
+func encodeEdges(edges []topology.Edge) [][2]int {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([][2]int, len(edges))
+	for i, e := range edges {
+		out[i] = [2]int{e.From, e.To}
+	}
+	return out
+}
+
+func decodeEdges(pairs [][2]int) []topology.Edge {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]topology.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = topology.Edge{From: p[0], To: p[1]}
+	}
+	return out
+}
+
+// errSessionExists reports a Create against a name already in use.
+var errSessionExists = errors.New("session: name already in use")

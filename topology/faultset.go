@@ -53,6 +53,47 @@ func (f FaultSet) Canonical() FaultSet {
 	return out
 }
 
+// Union returns the canonical union of f and g — the merge operation
+// behind incrementally growing fault sets (session fault streams add
+// faults batch by batch and never remove them).  Duplicates across the
+// two operands collapse, so Union is idempotent and order-insensitive:
+// f.Union(g).Key() == g.Union(f).Key().
+func (f FaultSet) Union(g FaultSet) FaultSet {
+	var out FaultSet
+	if len(f.Nodes)+len(g.Nodes) > 0 {
+		out.Nodes = make([]int, 0, len(f.Nodes)+len(g.Nodes))
+		out.Nodes = append(append(out.Nodes, f.Nodes...), g.Nodes...)
+	}
+	if len(f.Edges)+len(g.Edges) > 0 {
+		out.Edges = make([]Edge, 0, len(f.Edges)+len(g.Edges))
+		out.Edges = append(append(out.Edges, f.Edges...), g.Edges...)
+	}
+	return out.Canonical()
+}
+
+// Minus returns the canonical subset of f not already present in g: the
+// genuinely new faults of an incremental add on top of the accumulated
+// set g.  Node and edge faults are independent — a node fault does not
+// absorb link faults touching the same endpoint (the ring may need to
+// avoid the link in a direction the node removal alone would not cover;
+// callers that want subsumption filter explicitly).
+func (f FaultSet) Minus(g FaultSet) FaultSet {
+	seen := g.NodeSet()
+	seenE := g.EdgeSet()
+	var out FaultSet
+	for _, v := range f.Nodes {
+		if !seen[v] {
+			out.Nodes = append(out.Nodes, v)
+		}
+	}
+	for _, e := range f.Edges {
+		if !seenE[e] {
+			out.Edges = append(out.Edges, e)
+		}
+	}
+	return out.Canonical()
+}
+
 // Key renders the canonicalized fault set as a deterministic string,
 // suitable for memoization keyed by (topology, fault set).  It is
 // computed on every engine cache lookup, so the digits are appended with

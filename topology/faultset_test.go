@@ -1,0 +1,114 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFaultSetUnionIncremental grows a fault set one batch at a time —
+// the session-subsystem access pattern — and checks that duplicates
+// collapse, order does not matter, and the accumulated Key is stable.
+func TestFaultSetUnionIncremental(t *testing.T) {
+	a := NodeFaults(3, 1)
+	b := a.Union(NodeFaults(1, 7)) // 1 is a duplicate add
+	if got := b.Key(); got != "n:1,3,7;e:" {
+		t.Errorf("Union key = %q", got)
+	}
+	// Adding an already-present fault is a no-op on the canonical set.
+	c := b.Union(NodeFaults(3))
+	if c.Key() != b.Key() {
+		t.Errorf("duplicate add changed key: %q != %q", c.Key(), b.Key())
+	}
+	// Union is order-insensitive.
+	x := NodeFaults(5).Union(EdgeFaults(Edge{From: 2, To: 4}))
+	y := EdgeFaults(Edge{From: 2, To: 4}).Union(NodeFaults(5))
+	if x.Key() != y.Key() {
+		t.Errorf("order-sensitive union: %q != %q", x.Key(), y.Key())
+	}
+	// Empty operands are identities.
+	if got := (FaultSet{}).Union(FaultSet{}); !got.IsEmpty() {
+		t.Errorf("empty union = %+v", got)
+	}
+	if got := b.Union(FaultSet{}).Key(); got != b.Key() {
+		t.Errorf("union with empty changed key: %q", got)
+	}
+}
+
+// TestFaultSetLinkThenNodeSameEndpoint adds a link fault and then a node
+// fault on one of its endpoints: both must survive as independent faults
+// (a node fault does not subsume link faults), and the combined set must
+// validate and verify like any other.
+func TestFaultSetLinkThenNodeSameEndpoint(t *testing.T) {
+	net, err := NewDeBruijn(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := Edge{From: 1, To: 3} // 001 → 011
+	fs := EdgeFaults(link)
+	fs = fs.Union(NodeFaults(1)) // endpoint of the faulty link fails too
+	if len(fs.Nodes) != 1 || len(fs.Edges) != 1 {
+		t.Fatalf("combined set = %+v, want 1 node + 1 edge", fs)
+	}
+	if err := fs.Validate(net); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The reverse order accumulates to the same canonical set.
+	rev := NodeFaults(1).Union(EdgeFaults(link))
+	if rev.Key() != fs.Key() {
+		t.Errorf("link-then-node vs node-then-link: %q != %q", fs.Key(), rev.Key())
+	}
+	// A ring through node 1 fails on the node fault alone; a ring using
+	// the link fails even if node 1 is replaced by a healthy detour.
+	ring, _, err := net.EmbedRing(fs)
+	if err != nil {
+		t.Fatalf("EmbedRing: %v", err)
+	}
+	if !VerifyRing(net, ring, fs) {
+		t.Error("embedded ring fails combined verification")
+	}
+}
+
+// TestFaultSetMinus checks the new-faults filter of incremental adds.
+func TestFaultSetMinus(t *testing.T) {
+	have := NodeFaults(1, 2).Union(EdgeFaults(Edge{From: 0, To: 1}))
+	add := FaultSet{Nodes: []int{2, 3, 3}, Edges: []Edge{{From: 0, To: 1}, {From: 2, To: 5}}}
+	got := add.Minus(have)
+	if got.Key() != "n:3;e:2-5" {
+		t.Errorf("Minus = %q", got.Key())
+	}
+	if !have.Minus(have).IsEmpty() {
+		t.Error("f.Minus(f) not empty")
+	}
+	// Minus does not subsume link faults by endpoint node faults.
+	keep := EdgeFaults(Edge{From: 1, To: 2}).Minus(NodeFaults(1, 2))
+	if len(keep.Edges) != 1 {
+		t.Errorf("edge fault subsumed by node faults: %+v", keep)
+	}
+}
+
+// TestFaultSetKeyStableAcrossAddOrder grows the same fault population in
+// many random orders and batch splits; every path must canonicalize to
+// one Key.
+func TestFaultSetKeyStableAcrossAddOrder(t *testing.T) {
+	nodes := []int{9, 4, 12, 0, 7}
+	edges := []Edge{{From: 1, To: 2}, {From: 2, To: 1}, {From: 0, To: 5}}
+	want := FaultSet{Nodes: nodes, Edges: edges}.Canonical().Key()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(len(nodes))
+		acc := FaultSet{}
+		for _, i := range perm {
+			acc = acc.Union(NodeFaults(nodes[i]))
+			if rng.Intn(2) == 0 { // interleave a duplicate add
+				acc = acc.Union(NodeFaults(nodes[perm[0]]))
+			}
+		}
+		for _, i := range rng.Perm(len(edges)) {
+			acc = acc.Union(EdgeFaults(edges[i]))
+		}
+		if got := acc.Key(); got != want {
+			t.Fatalf("trial %d: key %q, want %q", trial, got, want)
+		}
+	}
+}

@@ -97,6 +97,14 @@ type undirectedNetwork interface {
 	undirected()
 }
 
+// Undirected reports whether net's links are undirected, i.e. a faulty
+// link blocks traffic in both orientations.  Repair and verification
+// codepaths use it to decide which ring hops a link fault severs.
+func Undirected(net Network) bool {
+	_, ok := net.(undirectedNetwork)
+	return ok
+}
+
 // cycleChecker lets an adapter refine the generic structural cycle test,
 // e.g. to admit the dilation-2 closed walks of shuffle-exchange
 // embeddings or to reject the degenerate 2-cycles of undirected graphs.
