@@ -16,7 +16,9 @@ import (
 	"debruijnring/internal/hypercube"
 	"debruijnring/internal/lfsr"
 	"debruijnring/internal/necklace"
+	"debruijnring/internal/repair"
 	"debruijnring/internal/word"
+	"debruijnring/topology"
 )
 
 // BenchmarkTable21 regenerates a Table 2.1 row set: component size and
@@ -110,6 +112,57 @@ func BenchmarkProp23(b *testing.B) {
 		res, err := ffc.Embed(g, []int{i % g.Size})
 		if err != nil || len(res.Cycle) < g.Size-(g.N+1) {
 			b.Fatal("bound violated")
+		}
+	}
+}
+
+// BenchmarkRepairUnpatch measures the incremental lifecycle round trip
+// on B(2,10): one local fault patch plus one local heal un-patch (the
+// session hot path for a fault that is later repaired).  Contrast with
+// BenchmarkRepairReembed, the cold path the un-patch replaces.
+func BenchmarkRepairUnpatch(b *testing.B) {
+	net, err := topology.NewDeBruijn(2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := repair.For(net)
+	ring, _, err := p.Embed(topology.FaultSet{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := topology.NodeFaults(ring[100])
+	// Warm the patcher's maps to steady state so allocs/op is stable at
+	// the CI job's tiny -benchtime.
+	for i := 0; i < 3; i++ {
+		p.Patch(batch)
+		p.Unpatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, o := p.Patch(batch); o != repair.Patched {
+			b.Fatalf("patch outcome %v", o)
+		}
+		if _, o := p.Unpatch(batch); o != repair.Readmitted {
+			b.Fatalf("unpatch outcome %v", o)
+		}
+	}
+}
+
+// BenchmarkRepairReembed measures the cold alternative to the un-patch:
+// a full FFC re-embed of B(2,10) around the reduced fault set.
+func BenchmarkRepairReembed(b *testing.B) {
+	net, err := topology.NewDeBruijn(2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := repair.For(net)
+	if _, _, err := p.Embed(topology.FaultSet{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Embed(topology.FaultSet{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -6,12 +6,16 @@
 // Traces are either generated (random faults over the topology, seeded
 // and reproducible) or replayed from a recorded JSON file, so a
 // production incident can be re-run against a patched server build.
+// Generated traces model the full bidirectional lifecycle: with
+// -heal-rate set, events heal previously injected faults (DELETE
+// …/faults) as well as add new ones, exercising the un-patch path.
 //
 // Usage:
 //
 //	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -events 10 -seed 7
-//	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -events 64 -record trace.json
+//	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -events 64 -heal-rate 0.3 -record trace.json
 //	chaos -server http://localhost:8080 -replay trace.json
+//	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -soak 60s -heal-rate 0.35 -check
 //	chaos -topology 'debruijn(4,6)' -events 32 -record trace.json   # generate only
 //
 // Flags:
@@ -21,11 +25,21 @@
 //	-events    fault events to generate (one fault per event)
 //	-seed      RNG seed for generated traces
 //	-edge-prob probability an event is a link fault instead of a node fault
+//	-heal-rate probability an event heals a live injected fault instead of adding one
+//	-max-live  cap on concurrently live injected faults (0 = word length n heuristic)
 //	-session   session name (default chaos-<seed>)
 //	-replay    JSON trace file to replay instead of generating
 //	-record    write the generated trace to this file
 //	-interval  pause between events (e.g. 100ms), simulating fault arrival
+//	-soak      keep generating events for this long (overrides -events; soak mode)
+//	-check     verify every ring locally and compare against a cold re-embed
 //	-keep      leave the session on the server after the run
+//
+// With -check, chaos independently verifies each reported ring with
+// topology.VerifyRing against the session's cumulative fault set and
+// cross-checks its length against a cold EmbedRing of the same fault
+// set — any verify error or repair/recompute divergence exits nonzero,
+// which is what the CI soak job gates on.
 package main
 
 import (
@@ -42,12 +56,20 @@ import (
 	"debruijnring/topology"
 )
 
-// Trace is the recorded fault stream: a topology and the fault batches
-// to feed it, in order.
+// TraceEvent is one recorded lifecycle step: a fault batch (Heal false)
+// or a heal batch (Heal true) in the session API's request shape.
+// Traces recorded before heals existed decode with Heal == false.
+type TraceEvent struct {
+	session.FaultsRequest
+	Heal bool `json:"heal,omitempty"`
+}
+
+// Trace is the recorded fault stream: a topology and the lifecycle
+// events to feed it, in order.
 type Trace struct {
-	Topology string                  `json:"topology"`
-	Seed     int64                   `json:"seed,omitempty"`
-	Events   []session.FaultsRequest `json:"events"`
+	Topology string       `json:"topology"`
+	Seed     int64        `json:"seed,omitempty"`
+	Events   []TraceEvent `json:"events"`
 }
 
 func main() {
@@ -56,19 +78,38 @@ func main() {
 	events := flag.Int("events", 10, "number of generated fault events")
 	seed := flag.Int64("seed", 1, "RNG seed for generated traces")
 	edgeProb := flag.Float64("edge-prob", 0, "probability an event is a link fault")
+	healRate := flag.Float64("heal-rate", 0, "probability an event heals a live injected fault")
+	maxLive := flag.Int("max-live", 0, "cap on live injected faults (0 = topology heuristic)")
 	name := flag.String("session", "", "session name (default chaos-<seed>)")
 	replay := flag.String("replay", "", "JSON trace file to replay")
 	record := flag.String("record", "", "write the generated trace to this file")
 	interval := flag.Duration("interval", 0, "pause between fault events")
+	soak := flag.Duration("soak", 0, "generate events for this duration (soak mode)")
+	check := flag.Bool("check", false, "verify rings locally and compare against cold re-embeds")
 	keep := flag.Bool("keep", false, "keep the session after the run")
 	flag.Parse()
 
-	trace, err := loadOrGenerate(*replay, *spec, *events, *seed, *edgeProb)
+	if *soak > 0 && *replay != "" {
+		fmt.Fprintln(os.Stderr, "chaos: -soak and -replay are mutually exclusive")
+		os.Exit(1)
+	}
+
+	var trace *Trace
+	var gen *generator
+	var err error
+	if *replay != "" {
+		trace, err = loadTrace(*replay)
+	} else {
+		gen, err = newGenerator(*spec, *seed, *edgeProb, *healRate, *maxLive)
+		if err == nil && *soak == 0 {
+			trace = gen.pregenerate(*events)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
-	if *record != "" {
+	if *record != "" && trace != nil {
 		if err := writeTrace(*record, trace); err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)
 			os.Exit(1)
@@ -76,60 +117,159 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: recorded %d events to %s\n", len(trace.Events), *record)
 	}
 	if *server == "" {
-		if *record == "" {
+		if *record == "" || trace == nil {
 			fmt.Fprintln(os.Stderr, "chaos: no -server and no -record; nothing to do")
 			os.Exit(1)
 		}
 		return
 	}
 
-	sessionName := *name
-	if sessionName == "" {
-		sessionName = fmt.Sprintf("chaos-%d", trace.Seed)
+	r := &runner{
+		server:   *server,
+		interval: *interval,
+		keep:     *keep,
+		check:    *check,
+		soak:     *soak,
 	}
-	if err := run(trace, *server, sessionName, *interval, *keep); err != nil {
+	if trace != nil {
+		r.topology = trace.Topology
+		r.events = trace.Events
+		r.seed = trace.Seed
+	} else {
+		r.topology = *spec
+		r.gen = gen
+		r.seed = *seed
+	}
+	r.name = *name
+	if r.name == "" {
+		r.name = fmt.Sprintf("chaos-%d", r.seed)
+	}
+	if err := r.run(); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
 }
 
-// loadOrGenerate returns the trace to drive: the recorded file when
-// replaying, a seeded random stream otherwise.
-func loadOrGenerate(replay, spec string, events int, seed int64, edgeProb float64) (*Trace, error) {
-	if replay != "" {
-		data, err := os.ReadFile(replay)
-		if err != nil {
-			return nil, err
-		}
-		var tr Trace
-		if err := json.Unmarshal(data, &tr); err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", replay, err)
-		}
-		if tr.Topology == "" || len(tr.Events) == 0 {
-			return nil, fmt.Errorf("%s: trace needs a topology and at least one event", replay)
-		}
-		return &tr, nil
-	}
+// generator produces a seeded random lifecycle stream, tracking the
+// live injected faults so heal events always reference a real one.
+type generator struct {
+	net      topology.RingEmbedder
+	spec     string
+	seed     int64
+	rng      *rand.Rand
+	edgeProb float64
+	healRate float64
+	maxLive  int
+
+	liveNodes []string
+	liveEdges []session.EdgeJSON
+	buf       []int
+}
+
+func newGenerator(spec string, seed int64, edgeProb, healRate float64, maxLive int) (*generator, error) {
 	net, err := topology.FromSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	tr := &Trace{Topology: spec, Seed: seed}
-	var buf []int
-	for i := 0; i < events; i++ {
-		var ev session.FaultsRequest
-		if rng.Float64() < edgeProb {
-			u := rng.Intn(net.Nodes())
-			buf = net.Successors(u, buf)
-			w := buf[rng.Intn(len(buf))]
-			ev.EdgeFaults = []session.EdgeJSON{{From: net.Label(u), To: net.Label(w)}}
-		} else {
-			ev.NodeFaults = []string{net.Label(rng.Intn(net.Nodes()))}
+	if maxLive <= 0 {
+		// Keep the stream inside the regime where local repair applies:
+		// the paper's f ≤ n tolerance for De Bruijn, a small constant
+		// otherwise.
+		maxLive = 4
+		if db, ok := net.(*topology.DeBruijn); ok {
+			maxLive = db.WordLen() - 1
 		}
-		tr.Events = append(tr.Events, ev)
 	}
-	return tr, nil
+	return &generator{
+		net: net, spec: spec, seed: seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		edgeProb: edgeProb, healRate: healRate, maxLive: maxLive,
+	}, nil
+}
+
+// next produces the next lifecycle event.
+func (g *generator) next() TraceEvent {
+	live := len(g.liveNodes) + len(g.liveEdges)
+	heal := live > 0 && (g.rng.Float64() < g.healRate || live >= g.maxLive)
+	var ev TraceEvent
+	if heal {
+		ev.Heal = true
+		i := g.rng.Intn(live)
+		if i < len(g.liveNodes) {
+			ev.NodeFaults = []string{g.liveNodes[i]}
+			g.liveNodes = append(g.liveNodes[:i], g.liveNodes[i+1:]...)
+		} else {
+			i -= len(g.liveNodes)
+			ev.EdgeFaults = []session.EdgeJSON{g.liveEdges[i]}
+			g.liveEdges = append(g.liveEdges[:i], g.liveEdges[i+1:]...)
+		}
+		return ev
+	}
+	if g.rng.Float64() < g.edgeProb {
+		u := g.rng.Intn(g.net.Nodes())
+		g.buf = g.net.Successors(u, g.buf)
+		w := g.buf[g.rng.Intn(len(g.buf))]
+		e := session.EdgeJSON{From: g.net.Label(u), To: g.net.Label(w)}
+		ev.EdgeFaults = []session.EdgeJSON{e}
+		g.liveEdges = append(g.liveEdges, e)
+	} else {
+		label := g.net.Label(g.rng.Intn(g.net.Nodes()))
+		ev.NodeFaults = []string{label}
+		g.liveNodes = append(g.liveNodes, label)
+	}
+	return ev
+}
+
+// rollback undoes next's live-fault bookkeeping for an event the server
+// rejected (the fault never landed / the heal never took), so later
+// heal picks and the maxLive throttle keep matching server state.
+func (g *generator) rollback(ev TraceEvent) {
+	if ev.Heal {
+		// The heal was rejected: its fault is still live server-side.
+		g.liveNodes = append(g.liveNodes, ev.NodeFaults...)
+		g.liveEdges = append(g.liveEdges, ev.EdgeFaults...)
+		return
+	}
+	for _, label := range ev.NodeFaults {
+		for i, v := range g.liveNodes {
+			if v == label {
+				g.liveNodes = append(g.liveNodes[:i], g.liveNodes[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, e := range ev.EdgeFaults {
+		for i, v := range g.liveEdges {
+			if v == e {
+				g.liveEdges = append(g.liveEdges[:i], g.liveEdges[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// pregenerate materializes a fixed-length trace (the recordable form).
+func (g *generator) pregenerate(events int) *Trace {
+	tr := &Trace{Topology: g.spec, Seed: g.seed}
+	for i := 0; i < events; i++ {
+		tr.Events = append(tr.Events, g.next())
+	}
+	return tr
+}
+
+func loadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if tr.Topology == "" || len(tr.Events) == 0 {
+		return nil, fmt.Errorf("%s: trace needs a topology and at least one event", path)
+	}
+	return &tr, nil
 }
 
 func writeTrace(path string, tr *Trace) error {
@@ -142,6 +282,7 @@ func writeTrace(path string, tr *Trace) error {
 
 // sample is one absorbed event's measurements.
 type sample struct {
+	heal       bool
 	repair     string
 	ringLen    int
 	lowerBound int
@@ -150,75 +291,198 @@ type sample struct {
 	rejected   bool
 }
 
-func run(tr *Trace, server, name string, interval time.Duration, keep bool) error {
+// runner drives one session through a trace or a live generator.
+type runner struct {
+	server   string
+	topology string
+	name     string
+	seed     int64
+	interval time.Duration
+	soak     time.Duration
+	keep     bool
+	check    bool
+
+	events []TraceEvent // fixed trace; nil in soak mode
+	gen    *generator   // soak mode source
+
+	net     topology.RingEmbedder // resolved lazily for -check
+	samples []sample
+}
+
+func (r *runner) run() error {
 	ctx := context.Background()
-	c := &session.Client{Base: server}
-	st, err := c.Create(ctx, session.CreateRequest{Name: name, Topology: tr.Topology})
+	c := &session.Client{Base: r.server}
+	st, err := c.Create(ctx, session.CreateRequest{Name: r.name, Topology: r.topology})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("session %s on %s: initial ring %d nodes\n", name, tr.Topology, st.RingLength)
-	if !keep {
-		defer c.Delete(ctx, name)
+	fmt.Printf("session %s on %s: initial ring %d nodes\n", r.name, r.topology, st.RingLength)
+	if !r.keep {
+		defer c.Delete(ctx, r.name)
+	}
+	if r.check {
+		if r.net, err = topology.FromSpec(r.topology); err != nil {
+			return err
+		}
 	}
 
-	samples := make([]sample, 0, len(tr.Events))
-	fmt.Printf("%5s  %-8s  %9s  %9s  %12s  %12s\n",
-		"event", "repair", "ring", "bound", "server", "round-trip")
-	for i, ev := range tr.Events {
-		if interval > 0 && i > 0 {
-			time.Sleep(interval)
-		}
-		start := time.Now()
-		res, err := c.AddFaults(ctx, name, ev)
-		clientNs := time.Since(start).Nanoseconds()
-		if err != nil {
-			// Rejected batches (beyond embeddable tolerance) end the run:
-			// the server keeps its last good ring.  The journaled
-			// rejection event, when returned, carries the surviving ring.
-			s := sample{repair: "rejected", rejected: true, clientNs: clientNs}
-			if res != nil {
-				s.ringLen = res.Event.RingLength
-				s.serverNs = res.Event.ElapsedNs
-				fmt.Printf("%5d  rejected (ring stays %d): %v\n", i+1, res.Event.RingLength, err)
-			} else {
-				fmt.Printf("%5d  rejected: %v\n", i+1, err)
+	deadline := time.Time{}
+	if r.soak > 0 {
+		deadline = time.Now().Add(r.soak)
+	}
+	fmt.Printf("%5s  %-5s  %-8s  %9s  %9s  %12s  %12s\n",
+		"event", "kind", "repair", "ring", "bound", "server", "round-trip")
+	for i := 0; ; i++ {
+		var ev TraceEvent
+		switch {
+		case r.events != nil:
+			if i >= len(r.events) {
+				goto done
 			}
-			samples = append(samples, s)
+			ev = r.events[i]
+		default:
+			if time.Now().After(deadline) {
+				goto done
+			}
+			ev = r.gen.next()
+		}
+		if r.interval > 0 && i > 0 {
+			time.Sleep(r.interval)
+		}
+		stop, err := r.step(ctx, c, i, ev)
+		if err != nil {
+			return err
+		}
+		if stop {
 			break
 		}
-		s := sample{
-			repair:     res.Event.Repair,
-			ringLen:    res.Event.RingLength,
-			lowerBound: res.Event.LowerBound,
-			serverNs:   res.Event.ElapsedNs,
-			clientNs:   clientNs,
-		}
-		samples = append(samples, s)
-		fmt.Printf("%5d  %-8s  %9d  %9d  %12s  %12s\n",
-			i+1, s.repair, s.ringLen, s.lowerBound,
-			time.Duration(s.serverNs), time.Duration(s.clientNs))
 	}
-	report(samples)
+done:
+	r.report()
 	return nil
 }
 
-// report prints the repair-vs-recompute summary and the degradation
-// curve endpoints.
-func report(samples []sample) {
+// step sends one event and records its sample.  It returns stop=true
+// when a rejected batch should end a fixed-trace run (soak runs carry
+// on; the server kept its last good ring).
+func (r *runner) step(ctx context.Context, c *session.Client, i int, ev TraceEvent) (bool, error) {
+	kind, send := "fault", c.AddFaults
+	if ev.Heal {
+		kind, send = "heal", c.RemoveFaults
+	}
+	start := time.Now()
+	res, err := send(ctx, r.name, ev.FaultsRequest)
+	clientNs := time.Since(start).Nanoseconds()
+	if err != nil {
+		s := sample{heal: ev.Heal, repair: "rejected", rejected: true, clientNs: clientNs}
+		if res != nil {
+			s.ringLen = res.Event.RingLength
+			s.serverNs = res.Event.ElapsedNs
+			fmt.Printf("%5d  %-5s  rejected (ring stays %d): %v\n", i+1, kind, res.Event.RingLength, err)
+		} else {
+			fmt.Printf("%5d  %-5s  rejected: %v\n", i+1, kind, err)
+		}
+		r.samples = append(r.samples, s)
+		// Rejected batches end a fixed-trace run (subsequent events were
+		// generated assuming this one landed); soak runs roll the
+		// generator's bookkeeping back and keep going.
+		if r.soak > 0 && r.gen != nil {
+			r.gen.rollback(ev)
+		}
+		return r.soak == 0, nil
+	}
+	s := sample{
+		heal:       ev.Heal,
+		repair:     res.Event.Repair,
+		ringLen:    res.Event.RingLength,
+		lowerBound: res.Event.LowerBound,
+		serverNs:   res.Event.ElapsedNs,
+		clientNs:   clientNs,
+	}
+	r.samples = append(r.samples, s)
+	fmt.Printf("%5d  %-5s  %-8s  %9d  %9d  %12s  %12s\n",
+		i+1, kind, s.repair, s.ringLen, s.lowerBound,
+		time.Duration(s.serverNs), time.Duration(s.clientNs))
+	if r.check {
+		if err := r.verify(ctx, c, i); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// verify independently checks the server's ring: fetch it, verify it
+// against the cumulative fault set, and compare its length to a cold
+// re-embed of the same fault set (repair and recompute must not
+// diverge; a cold embed that errors while the repaired ring verifies is
+// fine — star absorption handles link faults the one-shot path
+// rejects).
+func (r *runner) verify(ctx context.Context, c *session.Client, i int) error {
+	st, err := c.State(ctx, r.name)
+	if err != nil {
+		return err
+	}
+	ring := make([]int, len(st.Ring))
+	for j, label := range st.Ring {
+		if ring[j], err = r.net.Parse(label); err != nil {
+			return fmt.Errorf("event %d: bad ring label %q: %w", i+1, label, err)
+		}
+	}
+	pairs := make([][2]string, len(st.EdgeFaults))
+	for j, e := range st.EdgeFaults {
+		pairs[j] = [2]string{e.From, e.To}
+	}
+	faults, err := topology.ParseFaults(r.net, st.NodeFaults, pairs)
+	if err != nil {
+		return fmt.Errorf("event %d: bad fault labels: %w", i+1, err)
+	}
+	if !topology.VerifyRing(r.net, ring, faults) {
+		return fmt.Errorf("event %d: VERIFY ERROR: server ring fails VerifyRing (%d nodes, %d faults)",
+			i+1, len(ring), len(faults.Nodes)+len(faults.Edges))
+	}
+	// Length equivalence with a cold embed is an FFC-patcher invariant;
+	// the generic splice patcher is documented best-effort (a healed
+	// node without an adjacent slot legitimately stays off-ring), so
+	// only De Bruijn sessions are gated on it.
+	if _, isDB := r.net.(*topology.DeBruijn); isDB {
+		cold, _, coldErr := r.net.EmbedRing(faults)
+		if coldErr == nil && len(cold) != len(ring) {
+			return fmt.Errorf("event %d: DIVERGENCE: repaired ring %d nodes, cold re-embed %d",
+				i+1, len(ring), len(cold))
+		}
+	}
+	return nil
+}
+
+// report prints the repair-vs-recompute summary, the unpatch hit rate
+// and the degradation curve endpoints.
+func (r *runner) report() {
+	samples := r.samples
 	byKind := map[string][]int64{}
 	counts := map[string]int{}
+	healCounts := map[string]int{}
 	for _, s := range samples {
-		counts[s.repair]++
-		byKind[s.repair] = append(byKind[s.repair], s.serverNs)
+		key := s.repair
+		if s.heal {
+			healCounts[s.repair]++
+			key = "heal-" + s.repair
+		} else {
+			counts[s.repair]++
+		}
+		byKind[key] = append(byKind[key], s.serverNs)
 	}
 	fmt.Println()
-	fmt.Printf("events: %d  local: %d  reembed: %d  noop: %d  rejected: %d\n",
-		len(samples), counts["local"], counts["reembed"], counts["noop"], counts["rejected"])
+	fmt.Printf("events: %d  fault[local: %d  reembed: %d  noop: %d  rejected: %d]  heal[local: %d  reembed: %d  noop: %d]\n",
+		len(samples), counts["local"], counts["reembed"], counts["noop"],
+		counts["rejected"]+healCounts["rejected"],
+		healCounts["local"], healCounts["reembed"], healCounts["noop"])
 	if changing := counts["local"] + counts["reembed"]; changing > 0 {
-		fmt.Printf("patch hit rate: %.1f%%\n", 100*float64(counts["local"])/float64(changing))
+		fmt.Printf("patch hit rate:   %.1f%%\n", 100*float64(counts["local"])/float64(changing))
 	}
-	for _, kind := range []string{"local", "reembed"} {
+	if healing := healCounts["local"] + healCounts["reembed"]; healing > 0 {
+		fmt.Printf("unpatch hit rate: %.1f%%\n", 100*float64(healCounts["local"])/float64(healing))
+	}
+	for _, kind := range []string{"local", "reembed", "heal-local", "heal-reembed"} {
 		lat := byKind[kind]
 		if len(lat) == 0 {
 			continue
@@ -228,7 +492,7 @@ func report(samples []sample) {
 		for _, v := range lat {
 			sum += v
 		}
-		fmt.Printf("%-8s latency: mean %s  p50 %s  max %s\n", kind,
+		fmt.Printf("%-12s latency: mean %s  p50 %s  max %s\n", kind,
 			time.Duration(sum/int64(len(lat))),
 			time.Duration(lat[len(lat)/2]),
 			time.Duration(lat[len(lat)-1]))

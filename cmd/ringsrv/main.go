@@ -15,6 +15,7 @@
 //	GET    /v1/sessions/{name}         session state (ring, faults, stats)
 //	DELETE /v1/sessions/{name}         close and remove a session
 //	POST   /v1/sessions/{name}/faults  absorb a fault batch (local repair or re-embed)
+//	DELETE /v1/sessions/{name}/faults  re-admit a repaired batch (local un-patch or re-embed)
 //	GET    /v1/sessions/{name}/watch   stream ring deltas (long-poll or SSE)
 //
 // Usage:

@@ -61,31 +61,41 @@
 // # Online fault streams
 //
 // The batch path answers one fault set at a time; the session
-// subsystem models the paper's actual regime, where faults arrive
-// after the ring is embedded.  A session (package session) holds a
-// named topology, its current ring and a monotonically growing
-// FaultSet:
+// subsystem models the paper's actual regime, where faults arrive —
+// and heal — after the ring is embedded.  A session (package session)
+// holds a named topology, its current ring and a live FaultSet with a
+// bidirectional lifecycle:
 //
 //	mgr := session.NewManager(eng, session.Options{Dir: "/var/lib/rings"})
 //	s, _ := mgr.Create("prod", "debruijn(2,10)", topology.FaultSet{})
-//	ev, _ := s.AddFaults(topology.NodeFaults(x))   // ev.Repair: "local" | "reembed" | "noop"
+//	ev, _ := s.AddFaults(topology.NodeFaults(x))      // ev.Repair: "local" | "reembed" | "noop"
+//	ev, _ = s.RemoveFaults(topology.NodeFaults(x))    // heal: the ring grows back
 //
-// AddFaults attempts a local repair first (package internal/repair):
-// the faulty necklace is spliced out of the live ring by surgery on the
-// FFC algorithm's own structures — detach it from its star, re-parent
-// orphaned children along surviving shift-edge windows, re-close only
-// the touched w-cycles — in O(touched stars) work, preserving the
-// dⁿ − nf bound.  A full Embedder re-embed runs only when the patch
-// fails or the paper's f ≤ n tolerance is exceeded.  Every transition
-// is appended to a journal with ring hashes and periodic snapshots, so
-// a killed server restores each session to a bit-identical ring; the
-// engine's stats report repairs vs re-embeds and the patch hit rate.
+// Both directions attempt a local repair first (package
+// internal/repair), by surgery on the FFC algorithm's own structures.
+// A faulty necklace is spliced out of the live ring — detach it from
+// its star, re-parent orphaned children along surviving shift-edge
+// windows, re-close only the touched w-cycles; a faulted ring LINK
+// between healthy processors is absorbed by reordering window choices
+// within the touched star (Proposition 2.1 holds for any single-cycle
+// member order); and RemoveFaults reverses the surgery, re-expanding a
+// repaired necklace into the tree.  Each patch is O(touched stars)
+// work and preserves the dⁿ − nf bound for the current fault count.  A
+// full Embedder re-embed runs only when the patch fails or the paper's
+// f ≤ n tolerance is exceeded.  Every transition is appended to a
+// journal ("fault" and "heal" events with ring hashes, periodic
+// snapshots), so a killed server restores each session to a
+// bit-identical ring; the engine's stats report the patch hit rate and
+// the heal-direction unpatch hit rate.
 //
-// Over HTTP, ringsrv serves /v1/sessions (CRUD), …/faults (absorb a
-// batch) and …/watch (ring deltas via long-poll or SSE).  Command
-// chaos replays randomized or recorded fault traces against a server
-// and reports repair-vs-recompute latency and the ring-length
-// degradation curve; see examples/faultstream for the in-process view.
+// Over HTTP, ringsrv serves /v1/sessions (CRUD), …/faults (POST
+// absorbs a fault batch, DELETE re-admits a repaired one) and …/watch
+// (ring deltas via long-poll or SSE).  Command chaos replays
+// randomized or recorded lifecycle traces against a server — including
+// heal events via -heal-rate, soak runs via -soak, and client-side
+// verify/divergence checking via -check — and reports
+// repair-vs-recompute latency and the ring-length degradation curve;
+// see examples/faultstream for the in-process view.
 //
 // # Performance
 //

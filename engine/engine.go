@@ -268,20 +268,32 @@ const (
 	// RepairRejected: neither repair nor re-embed could absorb the
 	// faults; the session kept its previous state.
 	RepairRejected
+	// RepairHealLocal: a heal batch (shrinking fault set) was absorbed
+	// by a local un-patch — the ring grew back without a re-embed.
+	RepairHealLocal
+	// RepairHealReembed: the local un-patch declined and the session
+	// re-embedded around the reduced fault set.
+	RepairHealReembed
 )
 
 // SessionStats aggregates fault-event outcomes across every session
 // feeding this engine: how often incremental repair beat the full
-// re-embed path.
+// re-embed path, in both lifecycle directions.
 type SessionStats struct {
 	LocalRepairs int64 `json:"local_repairs"`
 	Reembeds     int64 `json:"reembeds"`
 	Noops        int64 `json:"noops"`
 	Rejected     int64 `json:"rejected"`
+	LocalHeals   int64 `json:"local_heals"`
+	HealReembeds int64 `json:"heal_reembeds"`
 	// PatchHitRate is LocalRepairs / (LocalRepairs + Reembeds): the
 	// fraction of ring-changing fault events served without a full
 	// re-embed.
 	PatchHitRate float64 `json:"patch_hit_rate"`
+	// UnpatchHitRate is the heal-direction analogue, LocalHeals /
+	// (LocalHeals + HealReembeds): the fraction of ring-changing heal
+	// events served by local un-patch instead of a full re-embed.
+	UnpatchHitRate float64 `json:"unpatch_hit_rate"`
 }
 
 // RecordRepair accounts one session fault event.  The session subsystem
@@ -299,6 +311,10 @@ func (e *Engine) RecordRepair(kind RepairKind) {
 		e.sessions.Noops++
 	case RepairRejected:
 		e.sessions.Rejected++
+	case RepairHealLocal:
+		e.sessions.LocalHeals++
+	case RepairHealReembed:
+		e.sessions.HealReembeds++
 	}
 }
 
@@ -328,6 +344,9 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Unlock()
 	if ringChanging := s.Sessions.LocalRepairs + s.Sessions.Reembeds; ringChanging > 0 {
 		s.Sessions.PatchHitRate = float64(s.Sessions.LocalRepairs) / float64(ringChanging)
+	}
+	if healing := s.Sessions.LocalHeals + s.Sessions.HealReembeds; healing > 0 {
+		s.Sessions.UnpatchHitRate = float64(s.Sessions.LocalHeals) / float64(healing)
 	}
 
 	s.Requests = s.Hits + s.Misses

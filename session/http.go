@@ -14,13 +14,14 @@ import (
 // Handler exposes a Manager over HTTP/JSON, mountable next to the
 // ringsrv embedding endpoints:
 //
-//	POST   /v1/sessions               create {"name","topology","node_faults","edge_faults"}
-//	GET    /v1/sessions               list summaries
-//	GET    /v1/sessions/{name}        full state (?ring=false omits the ring)
-//	DELETE /v1/sessions/{name}        close and remove (journal included)
-//	POST   /v1/sessions/{name}/faults absorb one fault batch
-//	GET    /v1/sessions/{name}/watch  stream events: long-poll (?after=N&wait=30s)
-//	                                  or SSE with Accept: text/event-stream
+//	POST   /v1/sessions                create {"name","topology","node_faults","edge_faults"}
+//	GET    /v1/sessions                list summaries
+//	GET    /v1/sessions/{name}         full state (?ring=false omits the ring)
+//	DELETE /v1/sessions/{name}         close and remove (journal included)
+//	POST   /v1/sessions/{name}/faults  absorb one fault batch
+//	DELETE /v1/sessions/{name}/faults  re-admit one repaired batch (heal)
+//	GET    /v1/sessions/{name}/watch   stream events: long-poll (?after=N&wait=30s)
+//	                                   or SSE with Accept: text/event-stream
 func Handler(m *Manager) http.Handler {
 	h := &handler{m: m}
 	mux := http.NewServeMux()
@@ -29,6 +30,7 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}", h.get)
 	mux.HandleFunc("DELETE /v1/sessions/{name}", h.delete)
 	mux.HandleFunc("POST /v1/sessions/{name}/faults", h.addFaults)
+	mux.HandleFunc("DELETE /v1/sessions/{name}/faults", h.removeFaults)
 	mux.HandleFunc("GET /v1/sessions/{name}/watch", h.watch)
 	return mux
 }
@@ -176,6 +178,16 @@ func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) addFaults(w http.ResponseWriter, r *http.Request) {
+	h.applyFaults(w, r, (*Session).AddFaults)
+}
+
+// removeFaults serves the heal direction: DELETE …/faults re-admits the
+// batch named in the body (the same shape POST absorbs).
+func (h *handler) removeFaults(w http.ResponseWriter, r *http.Request) {
+	h.applyFaults(w, r, (*Session).RemoveFaults)
+}
+
+func (h *handler) applyFaults(w http.ResponseWriter, r *http.Request, apply func(*Session, topology.FaultSet) (*Event, error)) {
 	s, ok := h.session(w, r)
 	if !ok {
 		return
@@ -189,7 +201,7 @@ func (h *handler) addFaults(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := s.AddFaults(faults)
+	ev, err := apply(s, faults)
 	if err != nil {
 		if ev == nil {
 			httpError(w, http.StatusBadRequest, err)

@@ -81,6 +81,74 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestHTTPHealRoute exercises the heal direction over the wire: DELETE
+// /v1/sessions/{name}/faults re-admits a repaired batch and journals a
+// "heal" event, and the session survives a restore afterwards.
+func TestHTTPHealRoute(t *testing.T) {
+	dir := t.TempDir()
+	ts, m := newTestServer(t, Options{Dir: dir})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	if _, err := c.Create(ctx, CreateRequest{Name: "h1", Topology: "debruijn(2,6)"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AddFaults(ctx, "h1", FaultsRequest{NodeFaults: []string{"000001"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := res.State.RingLength
+
+	// Heal it back over DELETE.
+	res, err = c.RemoveFaults(ctx, "h1", FaultsRequest{NodeFaults: []string{"000001"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Event.Kind != "heal" {
+		t.Errorf("event kind = %q, want heal", res.Event.Kind)
+	}
+	if res.Event.Repair != "local" && res.Event.Repair != "reembed" {
+		t.Errorf("heal repair kind = %q", res.Event.Repair)
+	}
+	if len(res.Event.RemoveNodes) != 1 {
+		t.Errorf("heal event removes %v", res.Event.RemoveNodes)
+	}
+	if res.State.RingLength != 64 || len(res.State.NodeFaults) != 0 {
+		t.Errorf("state after heal = len %d, faults %v (faulted len was %d)",
+			res.State.RingLength, res.State.NodeFaults, faulted)
+	}
+
+	// Healing a component that is not faulty is a noop, not an error.
+	res, err = c.RemoveFaults(ctx, "h1", FaultsRequest{NodeFaults: []string{"000011"}})
+	if err != nil || res.Event.Repair != "noop" {
+		t.Errorf("noop heal = %+v, %v", res.Event, err)
+	}
+	// A heal batch with a bad label is a 400.
+	if _, err := c.RemoveFaults(ctx, "h1", FaultsRequest{NodeFaults: []string{"zz"}}); err == nil {
+		t.Error("bad heal label accepted")
+	}
+	// Unknown sessions 404.
+	if _, err := c.RemoveFaults(ctx, "nope", FaultsRequest{NodeFaults: []string{"000001"}}); err == nil {
+		t.Error("heal on unknown session accepted")
+	}
+
+	// The journaled heal replays: restart the manager from the journal.
+	want := ""
+	if s, ok := m.Get("h1"); ok {
+		want = s.StateSnapshot(false).RingHash
+	}
+	m.Close()
+	m2 := NewManager(nil, Options{Dir: dir})
+	restored, errs := m2.Restore()
+	if len(errs) > 0 || len(restored) != 1 {
+		t.Fatalf("restore = %d sessions, errs %v", len(restored), errs)
+	}
+	if got := restored[0].StateSnapshot(false).RingHash; got != want {
+		t.Errorf("replayed ring hash %s != live %s", got, want)
+	}
+	m2.Close()
+}
+
 func TestHTTPWatchLongPoll(t *testing.T) {
 	ts, m := newTestServer(t, Options{})
 	c := &Client{Base: ts.URL}

@@ -110,7 +110,7 @@ func (m *Manager) create(name, spec string, net topology.RingEmbedder, faults to
 	now := time.Now().UTC()
 	s.journal.append(Event{
 		Seq: 0, Time: now, Kind: "created",
-		Name: name, Spec: spec,
+		Name: name, Spec: spec, RepairVer: repairSemVer,
 		FaultNodes: faults.Nodes, FaultEdges: encodeEdges(faults.Edges),
 	})
 	// The initial embed is not a repair decision; it is journaled and
@@ -247,6 +247,15 @@ func (m *Manager) restoreOne(path, name string) (*Session, error) {
 	if created.Kind != "created" || created.Name != name {
 		return nil, fmt.Errorf("journal does not begin with a matching created event")
 	}
+	// Replay re-runs the repair decisions, so a journal recorded under
+	// different decision semantics can diverge mid-stream; surface the
+	// version on any divergence so the failure is actionable instead of
+	// a bare hash mismatch.
+	semHint := ""
+	if created.RepairVer != repairSemVer {
+		semHint = fmt.Sprintf(" (journal recorded under repair semantics v%d, this build replays v%d: re-create the session, or replay with the recording build and snapshot)",
+			created.RepairVer, repairSemVer)
+	}
 	net, err := topology.FromSpec(created.Spec)
 	if err != nil {
 		return nil, err
@@ -272,7 +281,19 @@ func (m *Manager) restoreOne(path, name string) (*Session, error) {
 	if snap >= 0 {
 		ev := events[snap]
 		faults := topology.FaultSet{Nodes: ev.FaultNodes, Edges: decodeEdges(ev.FaultEdges)}.Canonical()
-		if err := s.patcher.Restore(ev.Patcher, ev.Ring, faults); err == nil {
+		snapOK := faults.Validate(net) == nil
+		for _, v := range ev.Ring {
+			if v < 0 || v >= net.Nodes() {
+				snapOK = false
+				break
+			}
+		}
+		if !snapOK {
+			// Corrupt snapshot payload (out-of-range components): fall
+			// back to replay from creation rather than feed garbage to
+			// the patcher.
+			snap = -1
+		} else if err := s.patcher.Restore(ev.Patcher, ev.Ring, faults); err == nil {
 			s.faults = faults
 			s.ring = append([]int(nil), ev.Ring...)
 			s.seq = ev.Seq
@@ -302,22 +323,30 @@ func (m *Manager) restoreOne(path, name string) (*Session, error) {
 		switch ev.Kind {
 		case "embed":
 			if got := ringHash(s.ring); ev.RingHash != "" && got != ev.RingHash {
-				return nil, fmt.Errorf("seq %d: replayed embed hash %s != journaled %s", ev.Seq, got, ev.RingHash)
+				return nil, fmt.Errorf("seq %d: replayed embed hash %s != journaled %s%s", ev.Seq, got, ev.RingHash, semHint)
 			}
 			s.seq = ev.Seq
 			s.stats.Events++
-		case "fault":
-			add := topology.FaultSet{Nodes: ev.AddNodes, Edges: decodeEdges(ev.AddEdges)}
-			got, err := s.applyFaultsLocked(add, false)
+		case "fault", "heal":
+			batch := topology.FaultSet{Nodes: ev.AddNodes, Edges: decodeEdges(ev.AddEdges)}
+			apply := s.applyFaultsLocked
+			if ev.Kind == "heal" {
+				batch = topology.FaultSet{Nodes: ev.RemoveNodes, Edges: decodeEdges(ev.RemoveEdges)}
+				apply = s.applyHealLocked
+			}
+			if err := batch.Validate(net); err != nil {
+				return nil, fmt.Errorf("seq %d: corrupt %s batch: %w", ev.Seq, ev.Kind, err)
+			}
+			got, err := apply(batch, false)
 			if ev.Repair == "rejected" {
 				if err == nil {
-					return nil, fmt.Errorf("seq %d: journaled rejection replayed as %s", ev.Seq, got.Repair)
+					return nil, fmt.Errorf("seq %d: journaled rejection replayed as %s%s", ev.Seq, got.Repair, semHint)
 				}
 			} else if err != nil {
-				return nil, fmt.Errorf("seq %d: replay failed: %w", ev.Seq, err)
+				return nil, fmt.Errorf("seq %d: replay failed%s: %w", ev.Seq, semHint, err)
 			}
 			if got != nil && ev.RingHash != "" && got.RingHash != ev.RingHash {
-				return nil, fmt.Errorf("seq %d: replayed ring hash %s != journaled %s", ev.Seq, got.RingHash, ev.RingHash)
+				return nil, fmt.Errorf("seq %d: replayed ring hash %s != journaled %s%s", ev.Seq, got.RingHash, ev.RingHash, semHint)
 			}
 			s.seq = ev.Seq // keep the original numbering even across gaps
 		case "snapshot":

@@ -1,20 +1,24 @@
 // Package session manages long-lived fault-evolving topologies: where
 // the engine package answers one-shot "embed a ring around these
-// faults" requests, a session holds a named topology whose fault set
-// only grows — the paper's actual operating regime, in which processors
-// and links fail one after another while the ring keeps carrying
-// traffic.
+// faults" requests, a session holds a named topology with a live fault
+// set — the paper's actual operating regime, in which processors and
+// links fail (and are repaired) one after another while the ring keeps
+// carrying traffic.
 //
-// Each AddFaults call first attempts a local repair of the current ring
-// (package internal/repair: splice the faulted necklaces out along
-// surviving shift-edge labels), falling back to a full re-embed only
-// when the patch fails or the paper's f ≤ n fault bound is exceeded.
-// Every transition appends an event to the session's journal — fault
-// batch, repair kind, ring delta, ring hash — and periodic snapshots
-// capture the full state, so a Manager pointed at the same directory
-// after a crash resumes every session with an identical ring (replay is
-// deterministic and verified hash-by-hash).  Watchers stream the same
-// events over long-poll or SSE via the HTTP handler in this package.
+// The fault lifecycle is bidirectional.  AddFaults absorbs newly
+// failed components and RemoveFaults re-admits repaired ones; both
+// first attempt a local repair of the current ring (package
+// internal/repair: splice faulted necklaces out along surviving
+// shift-edge labels, reorder star windows around faulted ring links,
+// re-expand healed necklaces back into the tree), falling back to a
+// full re-embed only when the patch fails or the paper's f ≤ n fault
+// bound is exceeded.  Every transition appends an event to the
+// session's journal — fault or heal batch, repair kind, ring delta,
+// ring hash — and periodic snapshots capture the full state, so a
+// Manager pointed at the same directory after a crash resumes every
+// session with an identical ring (replay is deterministic and verified
+// hash-by-hash).  Watchers stream the same events over long-poll or
+// SSE via the HTTP handler in this package.
 package session
 
 import (
@@ -39,19 +43,29 @@ type Event struct {
 	Seq  uint64    `json:"seq"`
 	Time time.Time `json:"time"`
 	// Kind is "created", "embed" (the initial embedding), "fault" (one
-	// absorbed fault batch) or "snapshot" (journal-only state capture).
+	// absorbed fault batch), "heal" (one re-admitted repair batch) or
+	// "snapshot" (journal-only state capture).
 	Kind string `json:"kind"`
 
 	// created events:
 	Name string `json:"name,omitempty"`
 	Spec string `json:"spec,omitempty"`
+	// RepairVer stamps the repair-decision semantics the journal was
+	// recorded under (see repairSemVer).  Replay re-runs those
+	// decisions, so a journal from a build with different semantics can
+	// diverge; the version turns the resulting hash mismatch into an
+	// actionable error.  0 on journals predating the stamp.
+	RepairVer int `json:"repair_ver,omitempty"`
 
-	// fault events: the canonicalized batch added this event and how it
-	// was served ("local", "reembed", "noop", "rejected").
-	AddNodes []int    `json:"add_nodes,omitempty"`
-	AddEdges [][2]int `json:"add_edges,omitempty"`
-	Repair   string   `json:"repair,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	// fault/heal events: the canonicalized batch added (or removed)
+	// this event and how it was served ("local", "reembed", "noop",
+	// "rejected").
+	AddNodes    []int    `json:"add_nodes,omitempty"`
+	AddEdges    [][2]int `json:"add_edges,omitempty"`
+	RemoveNodes []int    `json:"remove_nodes,omitempty"`
+	RemoveEdges [][2]int `json:"remove_edges,omitempty"`
+	Repair      string   `json:"repair,omitempty"`
+	Error       string   `json:"error,omitempty"`
 
 	// Ring bookkeeping after the event: length, the paper's lower bound,
 	// cumulative deduplicated fault count, and an FNV-64a hash of the
@@ -81,13 +95,23 @@ type Event struct {
 // deltas report lengths only.
 const deltaLimit = 128
 
-// Stats counts a session's fault events by outcome.
+// repairSemVer identifies the current repair-decision semantics.  Bump
+// it whenever the deterministic repair path changes shape (which ring a
+// given fault history produces): 2 = the bidirectional lifecycle with
+// star-reorder link absorption; journals without a stamp predate it.
+const repairSemVer = 2
+
+// Stats counts a session's fault and heal events by outcome.
+// LocalRepairs/Reembeds cover fault batches; LocalHeals/HealReembeds
+// cover heal batches; Noops and Rejected cover both directions.
 type Stats struct {
 	Events       int64 `json:"events"`
 	LocalRepairs int64 `json:"local_repairs"`
 	Reembeds     int64 `json:"reembeds"`
 	Noops        int64 `json:"noops"`
 	Rejected     int64 `json:"rejected"`
+	LocalHeals   int64 `json:"local_heals,omitempty"`
+	HealReembeds int64 `json:"heal_reembeds,omitempty"`
 }
 
 // Session is one fault-evolving topology with its current ring.  All
@@ -199,11 +223,12 @@ func (s *Session) withinToleranceLocked(combined topology.FaultSet) bool {
 	return len(combined.Nodes) <= db.WordLen()
 }
 
-// AddFaults absorbs one batch of newly failed components.  It attempts
-// a local repair of the current ring, falls back to a full re-embed,
-// journals the transition and wakes watchers.  On error the session
-// keeps its previous ring and fault set (the event is still journaled
-// as rejected so replay stays faithful).
+// AddFaults absorbs one batch of newly failed components (the fault set
+// can shrink again later via RemoveFaults).  It attempts a local repair
+// of the current ring, falls back to a full re-embed, journals the
+// transition and wakes watchers.  On error the session keeps its
+// previous ring and fault set (the event is still journaled as rejected
+// so replay stays faithful).
 func (s *Session) AddFaults(add topology.FaultSet) (*Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -214,12 +239,39 @@ func (s *Session) AddFaults(add topology.FaultSet) (*Event, error) {
 		return nil, err
 	}
 	ev, err := s.applyFaultsLocked(add, true)
-	if ev != nil && s.journal != nil {
-		if s.sinceSnap >= s.mgr.opts.SnapshotEvery {
-			s.writeSnapshotLocked()
-		}
-	}
+	s.maybeSnapshotLocked(ev)
 	return ev, err
+}
+
+// RemoveFaults re-admits one batch of repaired components, shrinking
+// the session's fault set — the heal direction of the lifecycle.  It
+// attempts a local un-patch of the current ring (re-expand the healed
+// necklaces, drop the healed links from the avoidance set), falls back
+// to a full re-embed around the reduced fault set, journals the
+// transition as a "heal" event and wakes watchers.  Healing components
+// that were never faulty is a no-op.  On error the session keeps its
+// previous ring and fault set (the event is still journaled as rejected
+// so replay stays faithful).
+func (s *Session) RemoveFaults(remove topology.FaultSet) (*Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session %q is closed", s.name)
+	}
+	if err := remove.Validate(s.net); err != nil {
+		return nil, err
+	}
+	ev, err := s.applyHealLocked(remove, true)
+	s.maybeSnapshotLocked(ev)
+	return ev, err
+}
+
+// maybeSnapshotLocked writes a journal snapshot when the event cadence
+// is due.
+func (s *Session) maybeSnapshotLocked(ev *Event) {
+	if ev != nil && s.journal != nil && s.sinceSnap >= s.mgr.opts.SnapshotEvery {
+		s.writeSnapshotLocked()
+	}
 }
 
 // applyFaultsLocked runs the repair lifecycle for one validated fault
@@ -248,7 +300,7 @@ func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event,
 		if s.withinToleranceLocked(combined) {
 			if r, outcome := s.patcher.Patch(newOnly); outcome == repair.Noop {
 				ev.Repair = "noop"
-			} else if outcome == repair.Patched &&
+			} else if (outcome == repair.Patched || outcome == repair.Reordered) &&
 				topology.VerifyRing(s.net, r, combined) &&
 				len(r) >= s.lowerBoundFor(combined) {
 				ev.Repair = "local"
@@ -296,6 +348,88 @@ func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event,
 	case "reembed":
 		kind = engine.RepairReembed
 		s.stats.Reembeds++
+	default:
+		kind = engine.RepairNoop
+		s.stats.Noops++
+	}
+	s.finishEventLocked(ev, start, record, kind)
+	return ev, nil
+}
+
+// applyHealLocked runs the repair lifecycle for one validated heal
+// batch — the inverse of applyFaultsLocked.  With record=false (journal
+// replay) nothing is written and the engine's counters stay untouched;
+// the decision path is deterministic, so replay reproduces the live
+// rings exactly.
+func (s *Session) applyHealLocked(remove topology.FaultSet, record bool) (*Event, error) {
+	start := time.Now()
+	remove = remove.Canonical()
+	reduced := s.faults.Minus(remove)
+	healed := s.faults.Minus(reduced) // the part of remove actually faulty
+	ev := &Event{
+		Kind:        "heal",
+		RemoveNodes: append([]int(nil), remove.Nodes...),
+		RemoveEdges: encodeEdges(remove.Edges),
+		FaultCount:  len(reduced.Nodes) + len(reduced.Edges),
+	}
+
+	var ring []int
+	var embedErr error
+	switch {
+	case healed.IsEmpty():
+		ev.Repair = "noop"
+	default:
+		if s.withinToleranceLocked(reduced) {
+			if r, outcome := s.patcher.Unpatch(healed); outcome == repair.Noop {
+				ev.Repair = "noop"
+			} else if outcome == repair.Readmitted &&
+				topology.VerifyRing(s.net, r, reduced) &&
+				len(r) >= s.lowerBoundFor(reduced) {
+				ev.Repair = "local"
+				ring = r
+			}
+		}
+		if ev.Repair == "" {
+			r, info, err := s.patcher.Embed(reduced)
+			if err != nil {
+				embedErr = err
+			} else {
+				ev.Repair = "reembed"
+				ring = r
+				s.rounds = info.Rounds
+			}
+		}
+	}
+
+	if embedErr != nil {
+		// Neither un-patch nor re-embed absorbed the heal: keep the old
+		// state, journal the rejection (replay must take the same path).
+		ev.Repair = "rejected"
+		ev.Error = embedErr.Error()
+		ev.RingLength = len(s.ring)
+		ev.RingHash = ringHash(s.ring)
+		s.finishEventLocked(ev, start, record, engine.RepairRejected)
+		s.stats.Rejected++
+		return ev, embedErr
+	}
+
+	if ring != nil {
+		ev.Removed, ev.Added, ev.DeltaTruncated = ringDelta(s.ring, ring)
+		s.ring = ring
+	}
+	s.faults = reduced
+	ev.RingLength = len(s.ring)
+	ev.LowerBound = s.lowerBoundFor(reduced)
+	ev.RingHash = ringHash(s.ring)
+
+	var kind engine.RepairKind
+	switch ev.Repair {
+	case "local":
+		kind = engine.RepairHealLocal
+		s.stats.LocalHeals++
+	case "reembed":
+		kind = engine.RepairHealReembed
+		s.stats.HealReembeds++
 	default:
 		kind = engine.RepairNoop
 		s.stats.Noops++

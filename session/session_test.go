@@ -318,15 +318,32 @@ func TestSessionEdgeFaultNoopAndReembed(t *testing.T) {
 		t.Errorf("off-ring link fault: repair %q, want noop", ev.Repair)
 	}
 
-	on := topology.Edge{From: ring[0], To: succ[ring[0]]}
+	// An on-ring link fault between healthy endpoints is absorbed by
+	// star reordering: no re-embed, no node leaves the ring.
+	on := topology.Edge{From: ring[3], To: succ[ring[3]]}
 	ev, err = s.AddFaults(topology.EdgeFaults(on))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Repair != "reembed" {
-		t.Errorf("on-ring link fault: repair %q, want reembed", ev.Repair)
+	if ev.Repair != "local" {
+		t.Errorf("on-ring link fault: repair %q, want local (star reorder)", ev.Repair)
+	}
+	if got := len(s.Ring()); got != net.Nodes() {
+		t.Errorf("link absorption dropped nodes: ring %d of %d", got, net.Nodes())
 	}
 	if !topology.VerifyRing(net, s.Ring(), s.Faults()) {
-		t.Error("ring after link re-embed fails verification")
+		t.Error("ring after link absorption fails verification")
+	}
+
+	// Healing the link is bookkeeping only.
+	ev, err = s.RemoveFaults(topology.EdgeFaults(on))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Repair != "noop" {
+		t.Errorf("link heal: repair %q, want noop", ev.Repair)
+	}
+	if len(s.Faults().Edges) != 1 {
+		t.Errorf("fault set has %d link faults after heal, want 1 (the off-ring one)", len(s.Faults().Edges))
 	}
 }

@@ -89,6 +89,57 @@ func TestFaultSetMinus(t *testing.T) {
 // TestFaultSetKeyStableAcrossAddOrder grows the same fault population in
 // many random orders and batch splits; every path must canonicalize to
 // one Key.
+// TestFaultSetMinusEdgeCases covers the heal-path corners: removing
+// faults that are not present, emptying the set entirely, and mixed
+// node+link removal in one batch.
+func TestFaultSetMinusEdgeCases(t *testing.T) {
+	e1 := Edge{From: 0, To: 1}
+	e2 := Edge{From: 2, To: 3}
+	full := FaultSet{Nodes: []int{4, 7, 9}, Edges: []Edge{e1, e2}}
+
+	// Removing absent faults changes nothing.
+	got := full.Minus(FaultSet{Nodes: []int{5, 6}, Edges: []Edge{{From: 9, To: 9}}})
+	if got.Key() != full.Canonical().Key() {
+		t.Errorf("minus of absent faults changed the set: %s", got.Key())
+	}
+
+	// Removing everything (plus extras) empties the set.
+	got = full.Minus(FaultSet{Nodes: []int{4, 7, 9, 100}, Edges: []Edge{e1, e2, {From: 8, To: 8}}})
+	if !got.IsEmpty() {
+		t.Errorf("minus of a superset left %s", got.Key())
+	}
+
+	// The empty set minus anything stays empty.
+	if got := (FaultSet{}).Minus(full); !got.IsEmpty() {
+		t.Errorf("empty minus full = %s", got.Key())
+	}
+
+	// Mixed node+link removal in one batch touches both classes
+	// independently: healing node 4 does not heal links at node 4.
+	mixed := FaultSet{Nodes: []int{4}, Edges: []Edge{{From: 4, To: 8}}}
+	base := FaultSet{Nodes: []int{4, 7}, Edges: []Edge{{From: 4, To: 8}, e1}}
+	got = base.Minus(FaultSet{Nodes: []int{4}})
+	if len(got.Nodes) != 1 || got.Nodes[0] != 7 || len(got.Edges) != 2 {
+		t.Errorf("node heal bled into links: %s", got.Key())
+	}
+	got = base.Minus(mixed)
+	if len(got.Nodes) != 1 || got.Nodes[0] != 7 || len(got.Edges) != 1 || got.Edges[0] != e1 {
+		t.Errorf("mixed removal = %s", got.Key())
+	}
+
+	// Duplicates in the removal batch are harmless.
+	got = full.Minus(FaultSet{Nodes: []int{4, 4, 4}})
+	if len(got.Nodes) != 2 {
+		t.Errorf("duplicate removal = %s", got.Key())
+	}
+
+	// Minus is the inverse of Union for disjoint sets.
+	add := FaultSet{Nodes: []int{50}, Edges: []Edge{{From: 6, To: 12}}}
+	if got := full.Union(add).Minus(add); got.Key() != full.Canonical().Key() {
+		t.Errorf("union-then-minus round trip = %s", got.Key())
+	}
+}
+
 func TestFaultSetKeyStableAcrossAddOrder(t *testing.T) {
 	nodes := []int{9, 4, 12, 0, 7}
 	edges := []Edge{{From: 1, To: 2}, {From: 2, To: 1}, {From: 0, To: 5}}
