@@ -148,6 +148,85 @@ func BenchmarkRepairUnpatch(b *testing.B) {
 	}
 }
 
+// BenchmarkRepairSpliceFallback measures the middle rung of the repair
+// ladder on B(2,10): a fault on the distinguished processor — which the
+// FFC structural tier always declines — absorbed by the splice tier's
+// bypass surgery, plus the splice-tier heal that re-inserts it.  This
+// is the path that used to cost a full re-embed round trip
+// (BenchmarkRepairReembed) on every FFC-rejected fault set.
+func BenchmarkRepairSpliceFallback(b *testing.B) {
+	net, err := topology.NewDeBruijn(2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := repair.For(net)
+	ring, _, err := p.Embed(topology.FaultSet{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := topology.NodeFaults(ring[0]) // the root: the FFC tier declines it
+	// Warm to steady state (the first Patch pays the FFC decline plus
+	// the lazy splice-tier sync).
+	for i := 0; i < 3; i++ {
+		p.Patch(batch)
+		p.Unpatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, o := p.Patch(batch); o != repair.Spliced {
+			b.Fatalf("patch outcome %v", o)
+		}
+		if _, o := p.Unpatch(batch); o != repair.Spliced {
+			b.Fatalf("unpatch outcome %v", o)
+		}
+	}
+}
+
+// BenchmarkRepairHealDenseFaults measures the heal hot path under a
+// dense cumulative fault set on B(2,10): eight live node faults, with
+// one more faulted and healed per iteration.  Full-heal detection used
+// to rescan the whole fault set per healed node (O(|faults|·period));
+// the per-necklace live-fault counter makes it O(1).
+func BenchmarkRepairHealDenseFaults(b *testing.B) {
+	net, err := topology.NewDeBruijn(2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := repair.For(net)
+	ring, _, err := p.Embed(topology.FaultSet{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := topology.FaultSet{}
+	for i := 1; i <= 8; i++ {
+		add := topology.NodeFaults(ring[101*i])
+		faults = faults.Union(add)
+		if _, o := p.Patch(add); o == repair.Unsupported {
+			if ring, _, err = p.Embed(faults); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	batch := topology.NodeFaults(ring[50])
+	for i := 0; i < 3; i++ {
+		if _, o := p.Patch(batch); o == repair.Unsupported {
+			b.Fatalf("setup patch declined")
+		}
+		if _, o := p.Unpatch(batch); o == repair.Unsupported {
+			b.Fatalf("setup unpatch declined")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, o := p.Patch(batch); o == repair.Unsupported {
+			b.Fatalf("patch outcome %v", o)
+		}
+		if _, o := p.Unpatch(batch); o == repair.Unsupported {
+			b.Fatalf("unpatch outcome %v", o)
+		}
+	}
+}
+
 // BenchmarkRepairReembed measures the cold alternative to the un-patch:
 // a full FFC re-embed of B(2,10) around the reduced fault set.
 func BenchmarkRepairReembed(b *testing.B) {

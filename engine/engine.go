@@ -274,6 +274,14 @@ const (
 	// RepairHealReembed: the local un-patch declined and the session
 	// re-embedded around the reduced fault set.
 	RepairHealReembed
+	// RepairSplice: the structural tier declined the fault batch but the
+	// generic splice tier absorbed it by local bypass surgery — the
+	// middle rung of the repair ladder, still no re-embed.
+	RepairSplice
+	// RepairSpliceHeal: the heal-direction analogue — the splice tier
+	// re-inserted the healed components after the structural tier
+	// declined.
+	RepairSpliceHeal
 )
 
 // SessionStats aggregates fault-event outcomes across every session
@@ -286,14 +294,28 @@ type SessionStats struct {
 	Rejected     int64 `json:"rejected"`
 	LocalHeals   int64 `json:"local_heals"`
 	HealReembeds int64 `json:"heal_reembeds"`
-	// PatchHitRate is LocalRepairs / (LocalRepairs + Reembeds): the
-	// fraction of ring-changing fault events served without a full
-	// re-embed.
+	// SpliceRepairs / SpliceHeals count the middle rung of the repair
+	// ladder: batches the structural tier declined but the generic
+	// splice tier absorbed by local bypass surgery, per direction.
+	SpliceRepairs int64 `json:"splice_repairs"`
+	SpliceHeals   int64 `json:"splice_heals"`
+	// PatchHitRate is (LocalRepairs + SpliceRepairs) / (LocalRepairs +
+	// SpliceRepairs + Reembeds): the fraction of ring-changing fault
+	// events served without a full re-embed, by either local tier.
 	PatchHitRate float64 `json:"patch_hit_rate"`
-	// UnpatchHitRate is the heal-direction analogue, LocalHeals /
-	// (LocalHeals + HealReembeds): the fraction of ring-changing heal
-	// events served by local un-patch instead of a full re-embed.
+	// UnpatchHitRate is the heal-direction analogue, (LocalHeals +
+	// SpliceHeals) / (LocalHeals + SpliceHeals + HealReembeds).
 	UnpatchHitRate float64 `json:"unpatch_hit_rate"`
+	// SpliceHitRate is (SpliceRepairs + SpliceHeals) / (SpliceRepairs +
+	// SpliceHeals + Reembeds + HealReembeds): the fraction of
+	// ring-changing events beyond the structural tier that the splice
+	// tier caught before the re-embed cliff.  The denominator counts
+	// every re-embed this engine saw — including over-tolerance batches
+	// never offered to a patcher and sessions on topologies with no
+	// structural tier — so a low rate is a lead, not proof, of the
+	// chain degenerating to re-embed-only; the authoritative gate is a
+	// controlled stream (chaos -min-splice, as the nightly soak runs).
+	SpliceHitRate float64 `json:"splice_hit_rate"`
 }
 
 // RecordRepair accounts one session fault event.  The session subsystem
@@ -315,6 +337,10 @@ func (e *Engine) RecordRepair(kind RepairKind) {
 		e.sessions.LocalHeals++
 	case RepairHealReembed:
 		e.sessions.HealReembeds++
+	case RepairSplice:
+		e.sessions.SpliceRepairs++
+	case RepairSpliceHeal:
+		e.sessions.SpliceHeals++
 	}
 }
 
@@ -342,11 +368,15 @@ func (e *Engine) Stats() EngineStats {
 	s := EngineStats{CacheStats: e.cacheStatsLocked(), Sessions: e.sessions}
 	lat := append([]int64(nil), e.lat...)
 	e.mu.Unlock()
-	if ringChanging := s.Sessions.LocalRepairs + s.Sessions.Reembeds; ringChanging > 0 {
-		s.Sessions.PatchHitRate = float64(s.Sessions.LocalRepairs) / float64(ringChanging)
+	if ringChanging := s.Sessions.LocalRepairs + s.Sessions.SpliceRepairs + s.Sessions.Reembeds; ringChanging > 0 {
+		s.Sessions.PatchHitRate = float64(s.Sessions.LocalRepairs+s.Sessions.SpliceRepairs) / float64(ringChanging)
 	}
-	if healing := s.Sessions.LocalHeals + s.Sessions.HealReembeds; healing > 0 {
-		s.Sessions.UnpatchHitRate = float64(s.Sessions.LocalHeals) / float64(healing)
+	if healing := s.Sessions.LocalHeals + s.Sessions.SpliceHeals + s.Sessions.HealReembeds; healing > 0 {
+		s.Sessions.UnpatchHitRate = float64(s.Sessions.LocalHeals+s.Sessions.SpliceHeals) / float64(healing)
+	}
+	if spliceable := s.Sessions.SpliceRepairs + s.Sessions.SpliceHeals +
+		s.Sessions.Reembeds + s.Sessions.HealReembeds; spliceable > 0 {
+		s.Sessions.SpliceHitRate = float64(s.Sessions.SpliceRepairs+s.Sessions.SpliceHeals) / float64(spliceable)
 	}
 
 	s.Requests = s.Hits + s.Misses

@@ -248,6 +248,33 @@ func TestSessionHealStats(t *testing.T) {
 	}
 }
 
+// TestSessionSpliceStats covers the middle rung: splice-tier
+// resolutions count toward patch/unpatch hit rates and feed
+// splice_hit_rate — the fraction of FFC-declined ring-changing events
+// the splice tier caught before the re-embed cliff.
+func TestSessionSpliceStats(t *testing.T) {
+	eng := New(Options{})
+	eng.RecordRepair(RepairSplice)
+	eng.RecordRepair(RepairSplice)
+	eng.RecordRepair(RepairReembed)
+	eng.RecordRepair(RepairSpliceHeal)
+	eng.RecordRepair(RepairHealReembed)
+	eng.RecordRepair(RepairLocal)
+	s := eng.Stats().Sessions
+	if s.SpliceRepairs != 2 || s.SpliceHeals != 1 {
+		t.Errorf("splice stats = %+v", s)
+	}
+	if s.PatchHitRate != 0.75 { // (1 local + 2 splice) / 4 ring-changing fault events
+		t.Errorf("patch hit rate = %v, want 0.75", s.PatchHitRate)
+	}
+	if s.UnpatchHitRate != 0.5 { // 1 splice heal / 2 ring-changing heal events
+		t.Errorf("unpatch hit rate = %v, want 0.5", s.UnpatchHitRate)
+	}
+	if s.SpliceHitRate != 0.6 { // 3 splice / (3 splice + 2 reembed)
+		t.Errorf("splice hit rate = %v, want 0.6", s.SpliceHitRate)
+	}
+}
+
 func TestEmbedRingErrorsAreNotCached(t *testing.T) {
 	eng := New(Options{})
 	ctx := context.Background()

@@ -1,0 +1,254 @@
+package repair
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"debruijnring/topology"
+)
+
+// chainPatcher layers the two repair tiers for De Bruijn sessions into
+// a single Patcher: the FFC structural tier first, and whenever it
+// returns Unsupported — root-necklace loss (including the root-fault
+// and root-necklace-exit-link cases that used to always recompute),
+// non-spanning survivor graphs, unreorderable stars, failed reattach —
+// the generic splice tier attempts a local bypass repair of the live
+// ring before the session pays for a cold re-embed.  The resulting
+// repair ladder is
+//
+//	FFC surgery (~O(touched stars)) → splice bypass (~O(ring)) → re-embed (O(dⁿ))
+//
+// with each tier declining to the next.  Splice-tier results are
+// reported as Spliced so sessions can journal (and stats can count)
+// which tier resolved each event.
+//
+// The chain mirrors the live ring and cumulative fault set itself; the
+// splice tier is synchronized lazily from that mirror the first time
+// the FFC tier declines.  Once the splice tier has modified the ring,
+// the FFC tier's structures no longer describe it, so the chain routes
+// every later Patch/Unpatch straight to the splice tier until the next
+// successful Embed — at which point the FFC tier re-adopts the ring and
+// the ladder resets.  All decisions are deterministic, so journal
+// replay retraces the exact tier sequence.
+type chainPatcher struct {
+	ffc    *ffcPatcher
+	splice *genericPatcher
+
+	// Mirror of the session's live ring and cumulative canonical fault
+	// set.  De Bruijn embeddings are always dilation 1, so the mirror is
+	// sufficient to (re)build the splice tier's whole state.
+	ring   []int
+	faults topology.FaultSet
+
+	// spliceOwns marks that the splice tier last modified the ring (the
+	// FFC tier is stale until the next successful Embed).  spliceSynced
+	// marks that the splice tier's internal state matches the mirror.
+	spliceOwns   bool
+	spliceSynced bool
+}
+
+func newChainPatcher(t *topology.DeBruijn) *chainPatcher {
+	return &chainPatcher{ffc: newFFCPatcher(t), splice: &genericPatcher{net: t}}
+}
+
+func (c *chainPatcher) Embed(f topology.FaultSet) ([]int, *topology.EmbedInfo, error) {
+	ring, info, err := c.ffc.Embed(f)
+	if err != nil {
+		// Nothing to adopt; the previous state (and tier ownership)
+		// survives a rejected embed.
+		return nil, nil, err
+	}
+	c.ring = append(c.ring[:0], ring...)
+	c.faults = f.Canonical()
+	c.spliceOwns = false
+	c.spliceSynced = false
+	return ring, info, nil
+}
+
+// validBatch mirrors the session's input validation: a batch with
+// out-of-range coordinates is rejected before either tier sees it, so
+// bad input can never poison healthy tier state.
+func (c *chainPatcher) validBatch(f topology.FaultSet) bool {
+	size := c.ffc.g.Size
+	for _, x := range f.Nodes {
+		if x < 0 || x >= size {
+			return false
+		}
+	}
+	for _, e := range f.Edges {
+		if e.From < 0 || e.From >= size || e.To < 0 || e.To >= size {
+			return false
+		}
+	}
+	return true
+}
+
+// syncSplice (re)builds the splice tier's state from the chain's
+// mirror.  Restore(nil, …) re-checks node distinctness, so a corrupted
+// mirror can never be spliced.
+func (c *chainPatcher) syncSplice() bool {
+	if c.spliceSynced {
+		return c.splice.valid
+	}
+	if err := c.splice.Restore(nil, c.ring, c.faults); err != nil {
+		return false
+	}
+	c.spliceSynced = true
+	return c.splice.valid
+}
+
+func (c *chainPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
+	add = add.Canonical()
+	if !c.validBatch(add) {
+		return nil, Unsupported
+	}
+	if !c.spliceOwns {
+		r, o := c.ffc.Patch(add)
+		if o != Unsupported {
+			if r != nil {
+				c.ring = append(c.ring[:0], r...)
+			}
+			c.faults = c.faults.Union(add)
+			c.spliceSynced = false
+			return r, o
+		}
+		// The FFC tier declined; its bookkeeping may not include this
+		// batch, but it is now invalid (or permanently non-spanning) and
+		// declines everything until the next Embed, so the mirror is the
+		// single source of truth for the splice tier below.
+	}
+	if !c.syncSplice() {
+		return nil, Unsupported
+	}
+	r, o := c.splice.Patch(add)
+	switch o {
+	case Patched:
+		c.ring = append(c.ring[:0], r...)
+		c.faults = c.faults.Union(add)
+		c.spliceOwns = true
+		return r, Spliced
+	case Noop:
+		c.faults = c.faults.Union(add)
+		return nil, Noop
+	}
+	// The splice tier mutated nothing on Unsupported beyond its own
+	// validity; force a resync from the mirror before its next use.
+	c.spliceSynced = false
+	return nil, Unsupported
+}
+
+func (c *chainPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
+	remove = remove.Canonical()
+	if !c.validBatch(remove) {
+		return nil, Unsupported
+	}
+	if !c.spliceOwns {
+		r, o := c.ffc.Unpatch(remove)
+		if o != Unsupported {
+			if r != nil {
+				c.ring = append(c.ring[:0], r...)
+			}
+			c.faults = c.faults.Minus(remove)
+			c.spliceSynced = false
+			return r, o
+		}
+	}
+	if !c.syncSplice() {
+		return nil, Unsupported
+	}
+	reduced := c.faults.Minus(remove)
+	healed := c.faults.Minus(reduced)
+	r, o := c.splice.Unpatch(remove)
+	switch o {
+	case Readmitted:
+		// Accept only complete re-admissions: a splice heal that leaves
+		// healed processors off-ring would silently freeze the ring short
+		// of what a re-embed restores, so partial heals decline and let
+		// the session regrow via Embed.
+		onRing := make(map[int]bool, len(r))
+		for _, v := range r {
+			onRing[v] = true
+		}
+		for _, v := range healed.Nodes {
+			if !onRing[v] {
+				c.spliceSynced = false // the splice tier mutated; resync before reuse
+				return nil, Unsupported
+			}
+		}
+		c.ring = append(c.ring[:0], r...)
+		c.faults = reduced
+		c.spliceOwns = true
+		return r, Spliced
+	case Noop:
+		if len(healed.Nodes) > 0 {
+			// Healed processors found no insertion slot: decline so the
+			// session re-embeds and the ring grows back.
+			c.spliceSynced = false
+			return nil, Unsupported
+		}
+		c.faults = reduced
+		return nil, Noop
+	}
+	c.spliceSynced = false
+	return nil, Unsupported
+}
+
+// chainState wraps the owning tier's snapshot so Restore rebuilds the
+// right tier.  Journals from before the chain carry a bare ffcState (no
+// "tier" key) and restore as the FFC tier.
+type chainState struct {
+	Tier  string          `json:"tier"`
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+func (c *chainPatcher) Snapshot() ([]byte, error) {
+	if c.spliceOwns {
+		st, err := c.splice.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(chainState{Tier: "splice", State: st})
+	}
+	st, err := c.ffc.Snapshot()
+	if err != nil || st == nil {
+		return nil, err
+	}
+	return json.Marshal(chainState{Tier: "ffc", State: st})
+}
+
+func (c *chainPatcher) Restore(state []byte, ring []int, f topology.FaultSet) error {
+	f = f.Canonical()
+	c.ring = append(c.ring[:0], ring...)
+	c.faults = f
+	c.spliceOwns = false
+	c.spliceSynced = false
+	if len(state) == 0 {
+		// Both tiers stale: the FFC tier declines until the next Embed
+		// and the splice tier resyncs lazily from (ring, faults) — the
+		// same state a live chain is in right after the FFC tier
+		// invalidates.
+		return nil
+	}
+	var st chainState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return fmt.Errorf("repair: bad chain snapshot: %w", err)
+	}
+	switch st.Tier {
+	case "splice":
+		if err := c.splice.Restore(st.State, ring, f); err != nil {
+			return err
+		}
+		if !c.splice.valid {
+			return fmt.Errorf("repair: splice snapshot restored to an unsplicable ring")
+		}
+		c.spliceOwns = true
+		c.spliceSynced = true
+		return nil
+	case "ffc":
+		return c.ffc.Restore(st.State, ring, f)
+	case "":
+		// Legacy snapshot: a bare ffcState recorded before the chain.
+		return c.ffc.Restore(state, ring, f)
+	}
+	return fmt.Errorf("repair: unknown chain snapshot tier %q", st.Tier)
+}

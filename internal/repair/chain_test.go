@@ -1,0 +1,296 @@
+package repair
+
+import (
+	"bytes"
+	"testing"
+
+	"debruijnring/topology"
+)
+
+// TestChainSpliceOnRootFault pins the tentpole case: a fault on the
+// distinguished node's necklace — which the FFC tier always declines —
+// is absorbed by the splice tier cutting the node out of the live ring,
+// instead of forcing a cold re-embed.  The heal direction re-inserts it
+// through the splice tier too, and a later Embed hands the ring back to
+// the FFC tier.
+func TestChainSpliceOnRootFault(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{2, 8}, {3, 5}, {4, 4}} {
+		net, err := topology.NewDeBruijn(tc.d, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := For(net)
+		ring, _, err := p.Embed(topology.FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := ring[0]
+		faults := topology.NodeFaults(root)
+		r, o := p.Patch(faults)
+		if o != Spliced {
+			t.Fatalf("B(%d,%d): root fault outcome %v, want Spliced", tc.d, tc.n, o)
+		}
+		if !topology.VerifyRing(net, r, faults) {
+			t.Fatalf("B(%d,%d): spliced ring fails verification", tc.d, tc.n)
+		}
+		if bound := net.Nodes() - tc.n; len(r) < bound {
+			t.Fatalf("B(%d,%d): spliced ring %d below dⁿ−n = %d", tc.d, tc.n, len(r), bound)
+		}
+
+		// Heal: the splice tier owns the ring now, so the re-insertion
+		// runs there as well.
+		r, o = p.Unpatch(faults)
+		if o != Spliced {
+			t.Fatalf("B(%d,%d): root heal outcome %v, want Spliced", tc.d, tc.n, o)
+		}
+		if len(r) != net.Nodes() || !topology.VerifyRing(net, r, topology.FaultSet{}) {
+			t.Fatalf("B(%d,%d): healed ring has %d of %d nodes or fails verification",
+				tc.d, tc.n, len(r), net.Nodes())
+		}
+
+		// A successful Embed re-synchronizes the FFC tier: the next
+		// ordinary fault patches structurally again.
+		ring, _, err = p.Embed(topology.FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, o := p.Patch(topology.NodeFaults(ring[len(ring)/2])); o != Patched {
+			t.Errorf("B(%d,%d): post-embed patch outcome %v, want Patched (FFC re-adopted)", tc.d, tc.n, o)
+		}
+	}
+}
+
+// TestChainDeclinesToReembedWhenSpliceExhausted walks the full ladder:
+// after a root splice on an otherwise fault-free ring there are no
+// off-ring spares, so a second interior cut deterministically declines
+// both tiers (FFC stale, no bypass material) and the caller's Embed
+// re-adopts the ring for the FFC tier.
+func TestChainDeclinesToReembedWhenSpliceExhausted(t *testing.T) {
+	net, _ := topology.NewDeBruijn(2, 8)
+	p := For(net)
+	ring, _, err := p.Embed(topology.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := topology.NodeFaults(ring[0])
+	r, o := p.Patch(faults)
+	if o != Spliced {
+		t.Fatalf("root fault outcome %v, want Spliced", o)
+	}
+	add := topology.NodeFaults(r[len(r)/2])
+	faults = faults.Union(add)
+	if _, o := p.Patch(add); o != Unsupported {
+		t.Fatalf("spare-free interior cut outcome %v, want Unsupported (tier 3)", o)
+	}
+	ring, _, err = p.Embed(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topology.VerifyRing(net, ring, faults) {
+		t.Fatal("re-embedded ring fails verification")
+	}
+	if _, o := p.Patch(topology.NodeFaults(ring[len(ring)/3])); o != Patched {
+		t.Errorf("post-re-embed patch outcome %v, want Patched (FFC re-adopted)", o)
+	}
+}
+
+// TestChainBadBatchDoesNotPoison is the poisoning regression: an
+// out-of-range batch must reject without invalidating, so the very next
+// well-formed fault still patches locally instead of re-embedding.
+func TestChainBadBatchDoesNotPoison(t *testing.T) {
+	net, _ := topology.NewDeBruijn(2, 8)
+	for name, p := range map[string]Patcher{"chain": For(net), "ffc": newFFCPatcher(net)} {
+		ring, _, err := p.Embed(topology.FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, o := p.Patch(topology.NodeFaults(-1)); o != Unsupported {
+			t.Fatalf("%s: bad node batch outcome %v, want Unsupported", name, o)
+		}
+		if _, o := p.Patch(topology.EdgeFaults(topology.Edge{From: 3, To: net.Nodes()})); o != Unsupported {
+			t.Fatalf("%s: bad edge batch outcome %v, want Unsupported", name, o)
+		}
+		if _, o := p.Unpatch(topology.NodeFaults(net.Nodes() + 7)); o != Unsupported && o != Noop {
+			t.Fatalf("%s: bad heal batch outcome %v", name, o)
+		}
+		// A rejected Embed must not poison either.
+		if _, _, err := p.Embed(topology.NodeFaults(-5)); err == nil {
+			t.Fatalf("%s: Embed accepted an out-of-range fault", name)
+		}
+		if _, o := p.Patch(topology.NodeFaults(ring[len(ring)/2])); o != Patched {
+			t.Errorf("%s: patcher poisoned: post-rejection outcome %v, want Patched", name, o)
+		}
+	}
+}
+
+// TestGenericRestorePersistsSplicability is the dilation regression: a
+// snapshot of an unsplicable embedding (dilation-2 closed walk) must
+// restore unsplicable even when the walk's nodes happen to be distinct.
+// Only legacy journals without a snapshot fall back to the distinct-node
+// heuristic.
+func TestGenericRestorePersistsSplicability(t *testing.T) {
+	net, err := topology.NewHypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := []int{0, 1, 3, 2} // distinct nodes: the heuristic alone would splice it
+	p := &genericPatcher{net: net}
+	p.reset(ring, topology.FaultSet{}, 2) // a dilation-2 embedding
+	state, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) == 0 || !bytes.Contains(state, []byte("splicable")) {
+		t.Fatalf("snapshot %q does not persist splicability", state)
+	}
+
+	q := &genericPatcher{net: net}
+	if err := q.Restore(state, ring, topology.FaultSet{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, o := q.Patch(topology.NodeFaults(1)); o != Unsupported {
+		t.Errorf("restored dilation-2 walk was spliced: outcome %v, want Unsupported", o)
+	}
+
+	// The legacy path (no snapshot) still restores splicable rings.
+	q2 := &genericPatcher{net: net}
+	if err := q2.Restore(nil, ring, topology.FaultSet{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, o := q2.Patch(topology.NodeFaults(1)); o != Patched {
+		t.Errorf("legacy restore of a splicable ring: outcome %v, want Patched", o)
+	}
+
+	// And a splicable snapshot round-trips splicable.
+	p2 := &genericPatcher{net: net}
+	p2.reset(ring, topology.FaultSet{}, 1)
+	st2, _ := p2.Snapshot()
+	q3 := &genericPatcher{net: net}
+	if err := q3.Restore(st2, ring, topology.FaultSet{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, o := q3.Patch(topology.NodeFaults(1)); o != Patched {
+		t.Errorf("splicable snapshot restore: outcome %v, want Patched", o)
+	}
+}
+
+// TestGenericMultiHopHeal pins the multi-hop bypass heal: a healed
+// processor whose only surviving attachment needs an off-ring relay is
+// re-inserted via the bounded BFS (the old direct-slot-only heal left
+// it off-ring as a Noop).
+func TestGenericMultiHopHeal(t *testing.T) {
+	net, err := topology.NewHypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &genericPatcher{net: net}
+	// 4-ring 0-1-3-2 with node 5 faulty; 4, 6, 7 are off-ring spares.
+	if err := p.Restore(nil, []int{0, 1, 3, 2}, topology.NodeFaults(5)); err != nil {
+		t.Fatal(err)
+	}
+	r, o := p.Unpatch(topology.NodeFaults(5))
+	if o != Readmitted {
+		t.Fatalf("multi-hop heal outcome %v, want Readmitted", o)
+	}
+	// No hop u→w of the ring has both u–5 and 5–w links, so the heal
+	// must have opened a hop into a bypass through a spare (1 → 5 → 7 →
+	// 3 is the canonical one).
+	if len(r) < 6 {
+		t.Fatalf("healed ring %v has %d nodes, want ≥ 6 (v plus its relay)", r, len(r))
+	}
+	if !topology.VerifyRing(net, r, topology.FaultSet{}) {
+		t.Fatalf("healed ring %v fails verification", r)
+	}
+	found := false
+	for _, v := range r {
+		if v == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("healed node 5 still off-ring")
+	}
+}
+
+// TestChainSnapshotRestoreSpliceTier round-trips a splice-owned chain
+// through Snapshot/Restore: the restored patcher must keep resolving in
+// the splice tier with identical rings.
+func TestChainSnapshotRestoreSpliceTier(t *testing.T) {
+	net, _ := topology.NewDeBruijn(2, 8)
+	p := For(net)
+	ring, _, err := p.Embed(topology.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := topology.NodeFaults(ring[0])
+	r, o := p.Patch(faults)
+	if o != Spliced {
+		t.Fatalf("root fault outcome %v, want Spliced", o)
+	}
+	state, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(state, []byte(`"tier":"splice"`)) {
+		t.Fatalf("snapshot %q does not record the splice tier", state)
+	}
+
+	q := For(net)
+	if err := q.Restore(state, r, faults); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// The deterministic follow-up both must serve identically from the
+	// splice tier: healing the spliced-out root re-inserts it.
+	r1, o1 := p.Unpatch(faults)
+	r2, o2 := q.Unpatch(faults)
+	if o1 != o2 || o1 != Spliced {
+		t.Fatalf("outcomes diverge after restore: %v vs %v (want Spliced)", o1, o2)
+	}
+	if !equalInts(r1, r2) {
+		t.Error("spliced rings diverge after restore")
+	}
+	if len(r2) != net.Nodes() || !topology.VerifyRing(net, r2, topology.FaultSet{}) {
+		t.Error("restored chain produced an invalid healed ring")
+	}
+}
+
+// TestChainSnapshotRestoreFFCTier: an FFC-owned chain snapshot restores
+// into the FFC tier (and legacy bare-ffcState snapshots still restore).
+func TestChainSnapshotRestoreFFCTier(t *testing.T) {
+	net, _ := topology.NewDeBruijn(2, 8)
+	p := For(net).(*chainPatcher)
+	ring, _, err := p.Embed(topology.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := topology.NodeFaults(ring[5])
+	r, o := p.Patch(faults)
+	if o != Patched {
+		t.Fatalf("outcome %v, want Patched", o)
+	}
+	state, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(state, []byte(`"tier":"ffc"`)) {
+		t.Fatalf("snapshot %q does not record the ffc tier", state)
+	}
+	q := For(net)
+	if err := q.Restore(state, r, faults); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, o := q.Patch(topology.NodeFaults(r[9])); o != Patched {
+		t.Errorf("restored chain patch outcome %v, want Patched", o)
+	}
+
+	// Legacy journals persisted the bare FFC state; the chain must still
+	// accept it.
+	legacy, err := p.ffc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := For(net)
+	if err := q2.Restore(legacy, r, faults); err != nil {
+		t.Fatalf("legacy restore: %v", err)
+	}
+}

@@ -4,32 +4,44 @@
 // re-embed; the operation behind long-lived fault-evolving sessions
 // (package session).
 //
-// Two patchers are provided.  For De Bruijn networks, a structural
-// patcher operates on the FFC algorithm's own data structures (the
-// necklace spanning tree T, its height-one same-label stars T_w and the
-// Step-3 successor overrides of Rowley–Bose §2.2): removing a faulty
-// necklace detaches it from its parent star, re-parents its orphaned
-// children along other surviving shift-edge labels, and re-closes only
-// the affected w-cycles, so the repaired ring still satisfies
-// Proposition 2.1 and costs O(affected stars) instead of O(dⁿ).  The
-// lifecycle is bidirectional: a faulted ring link whose endpoints are
-// healthy is absorbed by reordering window choices within the touched
-// star (Proposition 2.1 holds for ANY single-cycle member order), and
-// Unpatch reverses the surgery — a repaired necklace is re-expanded
-// into the tree, growing the ring back toward dⁿ.  For every other
-// unit-dilation topology, a generic splice patcher cuts the faulted
+// Two repair tiers are provided, and for De Bruijn networks they are
+// chained.  The structural tier operates on the FFC algorithm's own
+// data structures (the necklace spanning tree T, its height-one
+// same-label stars T_w and the Step-3 successor overrides of
+// Rowley–Bose §2.2): removing a faulty necklace detaches it from its
+// parent star, re-parents its orphaned children along other surviving
+// shift-edge labels, and re-closes only the affected w-cycles, so the
+// repaired ring still satisfies Proposition 2.1 and costs O(affected
+// stars) instead of O(dⁿ).  The lifecycle is bidirectional: a faulted
+// ring link whose endpoints are healthy is absorbed by reordering
+// window choices within the touched star (Proposition 2.1 holds for ANY
+// single-cycle member order), and Unpatch reverses the surgery — a
+// repaired necklace is re-expanded into the tree, growing the ring back
+// toward dⁿ.  The generic splice tier works on any unit-dilation
+// topology with no structural knowledge at all: it cuts the faulted
 // nodes and links out of the ring, reconnects the surviving arcs
-// through direct links or short off-ring bypass paths, and on heal
-// re-inserts the repaired processors between adjacent ring neighbors.
+// through direct links or bounded-BFS bypass paths over off-ring
+// survivors, and on heal re-inserts the repaired processors either
+// directly between adjacent ring neighbors or via a multi-hop bypass
+// path on one side.
+//
+// For(net) wires the tiers per topology.  De Bruijn sessions get the
+// chain (see chainPatcher): the FFC tier first, and on any of its
+// Unsupported exits — root-necklace loss, non-spanning survivor graphs,
+// unreorderable stars, failed reattach — the splice tier attempts a
+// local bypass repair of the live ring before the caller pays for a
+// cold re-embed.  Every other topology gets the splice tier alone.
 //
 // A patcher is a stateful, single-goroutine object owned by one session.
-// Patch and Unpatch are best-effort: Patched/Reordered/Readmitted
-// results still need topology.VerifyRing by the caller, and any
+// Patch and Unpatch are best-effort: Patched/Reordered/Readmitted/
+// Spliced results still need topology.VerifyRing by the caller, and any
 // Unsupported outcome (or failed verification) must be followed by
 // Embed to re-synchronize the patcher's state with a full re-embed.
 package repair
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/bits"
 
 	"debruijnring/topology"
@@ -59,6 +71,11 @@ const (
 	// (the ring grew back); the returned ring replaces the old one
 	// pending verification.
 	Readmitted
+	// Spliced means the structural tier declined but the generic splice
+	// tier absorbed the batch by local bypass surgery on the live ring
+	// (chain patchers only); the returned ring replaces the old one
+	// pending verification.
+	Spliced
 )
 
 // String renders the outcome for stats and journal events.
@@ -72,6 +89,8 @@ func (o Outcome) String() string {
 		return "reordered"
 	case Readmitted:
 		return "readmitted"
+	case Spliced:
+		return "spliced"
 	}
 	return "unsupported"
 }
@@ -90,6 +109,8 @@ func ParseOutcome(s string) (Outcome, bool) {
 		return Reordered, true
 	case "readmitted":
 		return Readmitted, true
+	case "spliced":
+		return Spliced, true
 	}
 	return Unsupported, false
 }
@@ -115,19 +136,22 @@ type Patcher interface {
 	Unpatch(remove topology.FaultSet) ([]int, Outcome)
 	// Snapshot serializes the incremental state needed to resume
 	// patching after a restart (the session persists ring and faults
-	// itself).  A nil snapshot is valid and restores to a state where
-	// every Patch reports Unsupported.
+	// itself).  A nil snapshot is valid: Restore(nil, …) rebuilds only
+	// what (ring, faults) alone support — the chain patcher can still
+	// splice via its lazily resynced bypass tier, while structural
+	// surgery declines until the next Embed.
 	Snapshot() ([]byte, error)
 	// Restore reinstates a snapshot taken at the given ring and
 	// cumulative fault set.
 	Restore(state []byte, ring []int, f topology.FaultSet) error
 }
 
-// For returns the patcher suited to net: the FFC structural patcher for
-// De Bruijn networks, the generic splice patcher otherwise.
+// For returns the patcher suited to net: the FFC-structural/splice
+// repair chain for De Bruijn networks, the generic splice patcher alone
+// otherwise.
 func For(net topology.RingEmbedder) Patcher {
 	if db, ok := net.(*topology.DeBruijn); ok {
-		return newFFCPatcher(db)
+		return newChainPatcher(db)
 	}
 	return &genericPatcher{net: net}
 }
@@ -153,9 +177,11 @@ func (p *genericPatcher) maxBypassLen() int {
 }
 
 func (p *genericPatcher) Embed(f topology.FaultSet) ([]int, *topology.EmbedInfo, error) {
-	p.valid = false
 	ring, info, err := p.net.EmbedRing(f)
 	if err != nil {
+		// Nothing was mutated: a rejected fault set (out-of-range
+		// coordinates, over-tolerance batch) must not poison a healthy
+		// patcher — the previous ring state stays patchable.
 		return nil, nil, err
 	}
 	p.reset(ring, f, info.Dilation)
@@ -171,13 +197,37 @@ func (p *genericPatcher) reset(ring []int, f topology.FaultSet, dilation int) {
 	p.valid = dilation <= 1 && len(ring) <= p.net.Nodes()
 }
 
-func (p *genericPatcher) Snapshot() ([]byte, error) { return nil, nil }
+// genericState persists the one bit of incremental state the session's
+// (ring, faults) pair cannot reconstruct: whether the embedding was
+// splicable (dilation ≤ 1).  Before this was persisted, Restore trusted
+// node distinctness alone, and a restored dilation-2 closed walk with
+// coincidentally distinct nodes would have been spliced illegally.
+type genericState struct {
+	Splicable bool `json:"splicable"`
+}
+
+func (p *genericPatcher) Snapshot() ([]byte, error) {
+	return json.Marshal(genericState{Splicable: p.valid})
+}
 
 func (p *genericPatcher) Restore(state []byte, ring []int, f topology.FaultSet) error {
-	// The generic patcher's whole state is (ring, faults).  Dilation is
-	// not persisted; a ring with distinct nodes is exactly the class the
-	// splice surgery applies to.
-	p.reset(ring, f, 1)
+	dilation := 1
+	if len(state) > 0 {
+		var st genericState
+		if err := json.Unmarshal(state, &st); err != nil {
+			return fmt.Errorf("repair: bad splice snapshot: %w", err)
+		}
+		if !st.Splicable {
+			// The snapshot records an unsplicable embedding (a dilation-2
+			// closed walk): stay invalid even when the walk's nodes happen
+			// to be distinct.
+			dilation = 2
+		}
+	}
+	// Journals from before the splicability bit carry no snapshot; for
+	// them (state == nil) the distinct-node check below is the only
+	// available gate.
+	p.reset(ring, f, dilation)
 	if p.valid {
 		seen := make(map[int]bool, len(ring))
 		for _, v := range ring {
@@ -283,12 +333,13 @@ func (p *genericPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 // bookkeeping (the ring never traverses a faulty wire, so nothing needs
 // rerouting — but dropping them from the fault set lets later bypasses
 // use the restored wire again).  Each healed processor is re-inserted
-// between a pair of adjacent ring neighbors it directly links —
-// reversing the cut-and-bypass of the original fault and shortening the
-// repaired region back toward the dilation-1 embedding.  A healed node
-// with no insertion slot stays off-ring (the ring remains valid; a
-// later Embed re-balances), so Unpatch never reports Unsupported for
-// slotless heals alone.
+// between a pair of adjacent ring neighbors: directly when it links
+// both — reversing the cut-and-bypass of the original fault — or, the
+// multi-hop heal, via a bounded-BFS bypass path through off-ring
+// fault-free survivors on one side, which pulls those survivors back
+// onto the ring with it.  A healed node with no insertion slot at all
+// stays off-ring (the ring remains valid; a later Embed re-balances),
+// so Unpatch never reports Unsupported for slotless heals alone.
 func (p *genericPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 	if !p.valid || len(p.ring) == 0 {
 		return nil, Unsupported
@@ -309,6 +360,7 @@ func (p *genericPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 		}
 		return undirected && badEdge[topology.Edge{From: v, To: u}]
 	}
+	badNode := reduced.NodeSet()
 	onRing := make(map[int]bool, len(p.ring))
 	for _, v := range p.ring {
 		onRing[v] = true
@@ -319,22 +371,60 @@ func (p *genericPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 		if onRing[v] {
 			continue // defensive: a faulty node is never on the ring
 		}
-		for i, u := range p.ring {
-			w := p.ring[(i+1)%len(p.ring)]
-			if p.net.IsEdge(u, v) && p.net.IsEdge(v, w) && !edgeCut(u, v) && !edgeCut(v, w) {
-				p.ring = append(p.ring, 0)
-				copy(p.ring[i+2:], p.ring[i+1:])
-				p.ring[i+1] = v
-				onRing[v] = true
-				changed = true
-				break
-			}
+		if p.insertHealed(v, onRing, badNode, edgeCut) {
+			changed = true
 		}
 	}
 	if !changed {
 		return nil, Noop
 	}
 	return append([]int(nil), p.ring...), Readmitted
+}
+
+// insertHealed re-inserts one healed processor v into the ring.  The
+// direct slot — a ring hop u→w with surviving wires u→v→w — is the
+// exact inverse of a node-fault splice and is tried first.  Failing
+// that, the multi-hop heal opens one ring hop u→w into u → v → … → w
+// (or u → … → v → w) with the longer side running through off-ring
+// fault-free survivors found by the same bounded BFS the fault
+// direction uses for bypasses.
+func (p *genericPatcher) insertHealed(v int, onRing, badNode map[int]bool, edgeCut func(int, int) bool) bool {
+	k := len(p.ring)
+	for i, u := range p.ring {
+		w := p.ring[(i+1)%k]
+		if p.net.IsEdge(u, v) && p.net.IsEdge(v, w) && !edgeCut(u, v) && !edgeCut(v, w) {
+			p.insertAfter(i, []int{v}, onRing)
+			return true
+		}
+	}
+	for i, u := range p.ring {
+		w := p.ring[(i+1)%k]
+		if p.net.IsEdge(u, v) && !edgeCut(u, v) {
+			if path, ok := p.bypass(v, w, badNode, edgeCut, onRing); ok {
+				p.insertAfter(i, append([]int{v}, path...), onRing)
+				return true
+			}
+		}
+		if p.net.IsEdge(v, w) && !edgeCut(v, w) {
+			if path, ok := p.bypass(u, v, badNode, edgeCut, onRing); ok {
+				p.insertAfter(i, append(path, v), onRing)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// insertAfter splices seq into the ring after position i, registering
+// the new members in onRing.
+func (p *genericPatcher) insertAfter(i int, seq []int, onRing map[int]bool) {
+	old := len(p.ring)
+	p.ring = append(p.ring, seq...)
+	copy(p.ring[i+1+len(seq):], p.ring[i+1:old])
+	copy(p.ring[i+1:i+1+len(seq)], seq)
+	for _, x := range seq {
+		onRing[x] = true
+	}
 }
 
 // bypass finds a path from tail to head whose interior avoids faulty and

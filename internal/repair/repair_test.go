@@ -23,10 +23,7 @@ func TestFFCPatcherIncrementalNodeFaults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := For(net)
-		if _, ok := p.(*ffcPatcher); !ok {
-			t.Fatalf("B(%d,%d): expected the structural patcher", tc.d, tc.n)
-		}
+		p := newFFCPatcher(net) // the structural tier in isolation
 		ring, info, err := p.Embed(topology.FaultSet{})
 		if err != nil {
 			t.Fatalf("B(%d,%d): initial embed: %v", tc.d, tc.n, err)
@@ -77,7 +74,7 @@ func TestFFCPatcherIncrementalNodeFaults(t *testing.T) {
 // component leave the ring untouched.
 func TestFFCPatcherDuplicateAndOffComponentFaults(t *testing.T) {
 	net, _ := topology.NewDeBruijn(2, 6)
-	p := For(net)
+	p := newFFCPatcher(net)
 	ring, _, err := p.Embed(topology.NodeFaults(5))
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +120,7 @@ func TestFFCPatcherDuplicateAndOffComponentFaults(t *testing.T) {
 // necklace, which must force a full re-embed.
 func TestFFCPatcherRootFaultFallsBack(t *testing.T) {
 	net, _ := topology.NewDeBruijn(2, 6)
-	p := For(net)
+	p := newFFCPatcher(net)
 	ring, _, err := p.Embed(topology.FaultSet{})
 	if err != nil {
 		t.Fatal(err)
@@ -312,8 +309,8 @@ func TestGenericPatcherFallbackOnHamiltonian(t *testing.T) {
 // TestPatcherSelection pins the For dispatch.
 func TestPatcherSelection(t *testing.T) {
 	db, _ := topology.NewDeBruijn(2, 4)
-	if _, ok := For(db).(*ffcPatcher); !ok {
-		t.Error("De Bruijn did not get the structural patcher")
+	if _, ok := For(db).(*chainPatcher); !ok {
+		t.Error("De Bruijn did not get the structural/splice repair chain")
 	}
 	se, err := topology.NewShuffleExchange(2, 4)
 	if err != nil {

@@ -98,8 +98,10 @@ func (c *Client) List(ctx context.Context) ([]StateJSON, error) {
 	return out, nil
 }
 
-// AddFaults streams one fault batch into the session.  A rejected batch
-// (the server kept its last good ring) returns the journaled rejection
+// AddFaults streams one fault batch into the session.  The returned
+// event's Repair field names the repair-ladder tier that served the
+// batch ("local", "splice", "reembed", "noop").  A rejected batch (the
+// server kept its last good ring) returns the journaled rejection
 // event alongside the error.
 func (c *Client) AddFaults(ctx context.Context, name string, req FaultsRequest) (*FaultsResponse, error) {
 	return c.applyFaults(ctx, http.MethodPost, name, req)

@@ -22,6 +22,12 @@ import (
 //	DELETE /v1/sessions/{name}/faults  re-admit one repaired batch (heal)
 //	GET    /v1/sessions/{name}/watch   stream events: long-poll (?after=N&wait=30s)
 //	                                   or SSE with Accept: text/event-stream
+//
+// Fault and heal responses carry the event's "repair" field naming the
+// ladder tier that served it: "local" (structural surgery), "splice"
+// (generic bypass repair after the structural tier declined), "reembed"
+// (full recompute), "noop" or "rejected".  The session's Stats block
+// counts the same tiers cumulatively.
 func Handler(m *Manager) http.Handler {
 	h := &handler{m: m}
 	mux := http.NewServeMux()

@@ -6,13 +6,15 @@
 // carrying traffic.
 //
 // The fault lifecycle is bidirectional.  AddFaults absorbs newly
-// failed components and RemoveFaults re-admits repaired ones; both
-// first attempt a local repair of the current ring (package
-// internal/repair: splice faulted necklaces out along surviving
+// failed components and RemoveFaults re-admits repaired ones; both run
+// the layered repair ladder of package internal/repair — structural
+// FFC surgery first (cut faulted necklaces out along surviving
 // shift-edge labels, reorder star windows around faulted ring links,
-// re-expand healed necklaces back into the tree), falling back to a
-// full re-embed only when the patch fails or the paper's f ≤ n fault
-// bound is exceeded.  Every transition appends an event to the
+// re-expand healed necklaces back into the tree), then the generic
+// splice tier (local bypass surgery on the live ring, for the fault
+// sets the FFC machinery rejects) — falling back to a full re-embed
+// only when every tier declines or the paper's f ≤ n fault bound is
+// exceeded.  Every transition appends an event to the
 // session's journal — fault or heal batch, repair kind, ring delta,
 // ring hash — and periodic snapshots capture the full state, so a
 // Manager pointed at the same directory after a crash resumes every
@@ -58,8 +60,9 @@ type Event struct {
 	RepairVer int `json:"repair_ver,omitempty"`
 
 	// fault/heal events: the canonicalized batch added (or removed)
-	// this event and how it was served ("local", "reembed", "noop",
-	// "rejected").
+	// this event and how it was served — "local" (structural tier),
+	// "splice" (the generic bypass tier, after the structural tier
+	// declined), "reembed", "noop" or "rejected".
 	AddNodes    []int    `json:"add_nodes,omitempty"`
 	AddEdges    [][2]int `json:"add_edges,omitempty"`
 	RemoveNodes []int    `json:"remove_nodes,omitempty"`
@@ -98,20 +101,27 @@ const deltaLimit = 128
 // repairSemVer identifies the current repair-decision semantics.  Bump
 // it whenever the deterministic repair path changes shape (which ring a
 // given fault history produces): 2 = the bidirectional lifecycle with
-// star-reorder link absorption; journals without a stamp predate it.
-const repairSemVer = 2
+// star-reorder link absorption; 3 = the layered repair chain (splice
+// tier between structural repair and re-embed, multi-hop bypass heal);
+// journals without a stamp predate the versioning.
+const repairSemVer = 3
 
 // Stats counts a session's fault and heal events by outcome.
-// LocalRepairs/Reembeds cover fault batches; LocalHeals/HealReembeds
-// cover heal batches; Noops and Rejected cover both directions.
+// LocalRepairs/SpliceRepairs/Reembeds cover fault batches;
+// LocalHeals/SpliceHeals/HealReembeds cover heal batches; Noops and
+// Rejected cover both directions.  The splice counters are the middle
+// rung of the repair ladder: batches the structural tier declined but
+// the generic splice tier absorbed without a re-embed.
 type Stats struct {
-	Events       int64 `json:"events"`
-	LocalRepairs int64 `json:"local_repairs"`
-	Reembeds     int64 `json:"reembeds"`
-	Noops        int64 `json:"noops"`
-	Rejected     int64 `json:"rejected"`
-	LocalHeals   int64 `json:"local_heals,omitempty"`
-	HealReembeds int64 `json:"heal_reembeds,omitempty"`
+	Events        int64 `json:"events"`
+	LocalRepairs  int64 `json:"local_repairs"`
+	Reembeds      int64 `json:"reembeds"`
+	Noops         int64 `json:"noops"`
+	Rejected      int64 `json:"rejected"`
+	LocalHeals    int64 `json:"local_heals,omitempty"`
+	HealReembeds  int64 `json:"heal_reembeds,omitempty"`
+	SpliceRepairs int64 `json:"splice_repairs,omitempty"`
+	SpliceHeals   int64 `json:"splice_heals,omitempty"`
 }
 
 // Session is one fault-evolving topology with its current ring.  All
@@ -300,10 +310,13 @@ func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event,
 		if s.withinToleranceLocked(combined) {
 			if r, outcome := s.patcher.Patch(newOnly); outcome == repair.Noop {
 				ev.Repair = "noop"
-			} else if (outcome == repair.Patched || outcome == repair.Reordered) &&
+			} else if (outcome == repair.Patched || outcome == repair.Reordered || outcome == repair.Spliced) &&
 				topology.VerifyRing(s.net, r, combined) &&
 				len(r) >= s.lowerBoundFor(combined) {
 				ev.Repair = "local"
+				if outcome == repair.Spliced {
+					ev.Repair = "splice"
+				}
 				ring = r
 			}
 		}
@@ -345,6 +358,9 @@ func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event,
 	case "local":
 		kind = engine.RepairLocal
 		s.stats.LocalRepairs++
+	case "splice":
+		kind = engine.RepairSplice
+		s.stats.SpliceRepairs++
 	case "reembed":
 		kind = engine.RepairReembed
 		s.stats.Reembeds++
@@ -382,10 +398,13 @@ func (s *Session) applyHealLocked(remove topology.FaultSet, record bool) (*Event
 		if s.withinToleranceLocked(reduced) {
 			if r, outcome := s.patcher.Unpatch(healed); outcome == repair.Noop {
 				ev.Repair = "noop"
-			} else if outcome == repair.Readmitted &&
+			} else if (outcome == repair.Readmitted || outcome == repair.Spliced) &&
 				topology.VerifyRing(s.net, r, reduced) &&
 				len(r) >= s.lowerBoundFor(reduced) {
 				ev.Repair = "local"
+				if outcome == repair.Spliced {
+					ev.Repair = "splice"
+				}
 				ring = r
 			}
 		}
@@ -427,6 +446,9 @@ func (s *Session) applyHealLocked(remove topology.FaultSet, record bool) (*Event
 	case "local":
 		kind = engine.RepairHealLocal
 		s.stats.LocalHeals++
+	case "splice":
+		kind = engine.RepairSpliceHeal
+		s.stats.SpliceHeals++
 	case "reembed":
 		kind = engine.RepairHealReembed
 		s.stats.HealReembeds++

@@ -43,7 +43,7 @@ func TestChaosTraceDeBruijn(t *testing.T) {
 			t.Fatalf("fault %d (node %d): %v", i, x, err)
 		}
 		switch ev.Repair {
-		case "local", "noop":
+		case "local", "splice", "noop":
 			local++
 		case "reembed":
 			reembeds++
@@ -70,7 +70,7 @@ func TestChaosTraceDeBruijn(t *testing.T) {
 
 	// Engine-side session stats reflect the trace.
 	es := eng.Stats().Sessions
-	if es.LocalRepairs+es.Noops+es.Reembeds != int64(n) {
+	if es.LocalRepairs+es.SpliceRepairs+es.Noops+es.Reembeds != int64(n) {
 		t.Errorf("engine session stats %+v do not cover %d events", es, n)
 	}
 
