@@ -19,6 +19,7 @@
 //	chaos -server http://localhost:8080 -topology 'debruijn(2,10)' -soak 60s -heal-rate 0.35 \
 //	      -splice-rate 0.05 -check -min-splice 1
 //	chaos -topology 'debruijn(4,6)' -events 32 -record trace.json   # generate only
+//	chaos -server http://localhost:8000 -topology 'debruijn(2,10)' -sessions 120 -events 20 -heal-rate 0.3
 //
 // Flags:
 //
@@ -33,6 +34,10 @@
 //	             splice tier of the repair ladder
 //	-max-live    cap on concurrently live injected faults (0 = word length n heuristic)
 //	-session     session name (default chaos-<seed>)
+//	-sessions    drive this many concurrent sessions (fleet load mode: names
+//	             <session>-<i>, seeds <seed>+i, per-event output suppressed,
+//	             one aggregated report; point -server at a ringfleet router
+//	             and the sessions spread across the shards)
 //	-replay      JSON trace file to replay instead of generating
 //	-record      write the generated trace to this file
 //	-interval    pause between events (e.g. 100ms), simulating fault arrival
@@ -62,6 +67,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"debruijnring/session"
@@ -94,6 +100,7 @@ func main() {
 	spliceRate := flag.Float64("splice-rate", 0, "probability an event faults the FFC root processor (exercises the splice tier)")
 	maxLive := flag.Int("max-live", 0, "cap on live injected faults (0 = topology heuristic)")
 	name := flag.String("session", "", "session name (default chaos-<seed>)")
+	sessionsN := flag.Int("sessions", 1, "concurrent sessions to drive (fleet load mode; names <session>-<i>, seeds <seed>+i)")
 	replay := flag.String("replay", "", "JSON trace file to replay")
 	record := flag.String("record", "", "write the generated trace to this file")
 	interval := flag.Duration("interval", 0, "pause between fault events")
@@ -106,6 +113,28 @@ func main() {
 	if *soak > 0 && *replay != "" {
 		fmt.Fprintln(os.Stderr, "chaos: -soak and -replay are mutually exclusive")
 		os.Exit(1)
+	}
+	if *sessionsN > 1 {
+		if *replay != "" || *record != "" {
+			fmt.Fprintln(os.Stderr, "chaos: -sessions > 1 drives generated traces only (drop -replay/-record)")
+			os.Exit(1)
+		}
+		if *server == "" {
+			fmt.Fprintln(os.Stderr, "chaos: -sessions needs a -server")
+			os.Exit(1)
+		}
+		err := runFleet(fleetConfig{
+			server: *server, spec: *spec, baseName: *name,
+			sessions: *sessionsN, events: *events, seed: *seed,
+			edgeProb: *edgeProb, healRate: *healRate, spliceRate: *spliceRate,
+			maxLive: *maxLive, interval: *interval, soak: *soak,
+			check: *check, keep: *keep, minSplice: *minSplice,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var trace *Trace
@@ -163,6 +192,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
+}
+
+// fleetConfig parameterizes a multi-session run.
+type fleetConfig struct {
+	server, spec, baseName         string
+	sessions, events               int
+	seed                           int64
+	edgeProb, healRate, spliceRate float64
+	maxLive                        int
+	interval, soak                 time.Duration
+	check, keep                    bool
+	minSplice                      int
+}
+
+// runFleet drives N concurrent sessions — each with its own derived
+// seed and generator — and aggregates their samples into one report.
+// This is the fleet acceptance mode: point -server at a ringfleet
+// router and the sessions spread over the shards by consistent hash of
+// their names, so the stream keeps flowing through shard failovers
+// (the client retries through the promotion window).
+func runFleet(cfg fleetConfig) error {
+	base := cfg.baseName
+	if base == "" {
+		base = fmt.Sprintf("chaos-%d", cfg.seed)
+	}
+	runners := make([]*runner, cfg.sessions)
+	for i := range runners {
+		seed := cfg.seed + int64(i)
+		gen, err := newGenerator(cfg.spec, seed, cfg.edgeProb, cfg.healRate, cfg.spliceRate, cfg.maxLive)
+		if err != nil {
+			return err
+		}
+		r := &runner{
+			server:   cfg.server,
+			topology: cfg.spec,
+			name:     fmt.Sprintf("%s-%03d", base, i),
+			seed:     seed,
+			interval: cfg.interval,
+			soak:     cfg.soak,
+			keep:     cfg.keep,
+			check:    cfg.check,
+			quiet:    true,
+		}
+		if cfg.soak > 0 {
+			r.gen = gen
+		} else {
+			r.events = gen.pregenerate(cfg.events).Events
+		}
+		runners[i] = r
+	}
+	fmt.Printf("fleet run: %d sessions against %s (%s, seeds %d..%d)\n",
+		cfg.sessions, cfg.server, cfg.spec, cfg.seed, cfg.seed+int64(cfg.sessions-1))
+	start := time.Now()
+	errs := make([]error, len(runners))
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = r.drive()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	agg := &runner{}
+	failed := 0
+	for i, r := range runners {
+		agg.samples = append(agg.samples, r.samples...)
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "chaos: session %s: %v\n", r.name, errs[i])
+		}
+	}
+	fmt.Printf("%d events across %d sessions in %s (%.0f events/s)\n",
+		len(agg.samples), cfg.sessions, elapsed.Round(time.Millisecond),
+		float64(len(agg.samples))/elapsed.Seconds())
+	spliced := agg.report()
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed", failed, cfg.sessions)
+	}
+	if spliced < cfg.minSplice {
+		return fmt.Errorf("splice tier resolved %d events, want ≥ %d (-min-splice)", spliced, cfg.minSplice)
+	}
+	return nil
 }
 
 // generator produces a seeded random lifecycle stream, tracking the
@@ -339,6 +453,9 @@ type runner struct {
 	keep      bool
 	check     bool
 	minSplice int
+	// quiet suppresses the per-event table (multi-session fleet runs
+	// aggregate instead).
+	quiet bool
 
 	events []TraceEvent // fixed trace; nil in soak mode
 	gen    *generator   // soak mode source
@@ -353,13 +470,29 @@ type runner struct {
 }
 
 func (r *runner) run() error {
+	if err := r.drive(); err != nil {
+		return err
+	}
+	spliced := r.report()
+	if spliced < r.minSplice {
+		return fmt.Errorf("splice tier resolved %d events, want ≥ %d (-min-splice): the repair chain may have degenerated to re-embed-only",
+			spliced, r.minSplice)
+	}
+	return nil
+}
+
+// drive runs the session through its trace or generator, collecting
+// samples without reporting (the caller aggregates).
+func (r *runner) drive() error {
 	ctx := context.Background()
 	c := &session.Client{Base: r.server}
 	st, err := c.Create(ctx, session.CreateRequest{Name: r.name, Topology: r.topology})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("session %s on %s: initial ring %d nodes\n", r.name, r.topology, st.RingLength)
+	if !r.quiet {
+		fmt.Printf("session %s on %s: initial ring %d nodes\n", r.name, r.topology, st.RingLength)
+	}
 	if !r.keep {
 		defer c.Delete(ctx, r.name)
 	}
@@ -373,8 +506,10 @@ func (r *runner) run() error {
 	if r.soak > 0 {
 		deadline = time.Now().Add(r.soak)
 	}
-	fmt.Printf("%5s  %-5s  %-8s  %9s  %9s  %12s  %12s\n",
-		"event", "kind", "repair", "ring", "bound", "server", "round-trip")
+	if !r.quiet {
+		fmt.Printf("%5s  %-5s  %-8s  %9s  %9s  %12s  %12s\n",
+			"event", "kind", "repair", "ring", "bound", "server", "round-trip")
+	}
 	for i := 0; ; i++ {
 		var ev TraceEvent
 		switch {
@@ -401,11 +536,6 @@ func (r *runner) run() error {
 		}
 	}
 done:
-	spliced := r.report()
-	if spliced < r.minSplice {
-		return fmt.Errorf("splice tier resolved %d events, want ≥ %d (-min-splice): the repair chain may have degenerated to re-embed-only",
-			spliced, r.minSplice)
-	}
 	return nil
 }
 
@@ -425,8 +555,10 @@ func (r *runner) step(ctx context.Context, c *session.Client, i int, ev TraceEve
 		if res != nil {
 			s.ringLen = res.Event.RingLength
 			s.serverNs = res.Event.ElapsedNs
-			fmt.Printf("%5d  %-5s  rejected (ring stays %d): %v\n", i+1, kind, res.Event.RingLength, err)
-		} else {
+			if !r.quiet {
+				fmt.Printf("%5d  %-5s  rejected (ring stays %d): %v\n", i+1, kind, res.Event.RingLength, err)
+			}
+		} else if !r.quiet {
 			fmt.Printf("%5d  %-5s  rejected: %v\n", i+1, kind, err)
 		}
 		r.samples = append(r.samples, s)
@@ -453,9 +585,11 @@ func (r *runner) step(ctx context.Context, c *session.Client, i int, ev TraceEve
 	case "reembed":
 		r.spliceActive = false
 	}
-	fmt.Printf("%5d  %-5s  %-8s  %9d  %9d  %12s  %12s\n",
-		i+1, kind, s.repair, s.ringLen, s.lowerBound,
-		time.Duration(s.serverNs), time.Duration(s.clientNs))
+	if !r.quiet {
+		fmt.Printf("%5d  %-5s  %-8s  %9d  %9d  %12s  %12s\n",
+			i+1, kind, s.repair, s.ringLen, s.lowerBound,
+			time.Duration(s.serverNs), time.Duration(s.clientNs))
+	}
 	if r.check {
 		if err := r.verify(ctx, c, i); err != nil {
 			return false, err

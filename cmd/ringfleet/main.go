@@ -1,0 +1,112 @@
+// Command ringfleet fronts a fleet of ringsrv shards with a
+// consistent-hash router: session names map deterministically to shard
+// groups, all /v1/sessions traffic (long-poll and SSE watch included)
+// is proxied to the owning shard, stateless embedding endpoints are
+// spread round-robin, and a shard that stops answering health checks
+// has its replica promoted — the existing hash-verified journal replay
+// brings every session back with an identical ring.
+//
+// Usage:
+//
+//	ringfleet -addr :8000 \
+//	    -shard http://10.0.0.1:8080=http://10.0.0.2:8080 \
+//	    -shard http://10.0.0.3:8080=http://10.0.0.4:8080 \
+//	    -shard http://10.0.0.5:8080=http://10.0.0.6:8080
+//
+// Each -shard is primary[=replica]; the primary should run ringsrv
+// with -journal and -replicate-to pointing at the replica, the replica
+// with -journal and -standby.  Omitting =replica leaves the group
+// unreplicated (a dead primary then just stays down).
+//
+// The router itself serves:
+//
+//	GET /healthz   router liveness
+//	GET /v1/fleet  per-group status: active URL, promotion, request counts
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"debruijnring/fleet"
+)
+
+// shardFlags collects repeated -shard primary[=replica] arguments.
+type shardFlags []fleet.ShardGroup
+
+func (s *shardFlags) String() string { return fmt.Sprint(*s) }
+
+func (s *shardFlags) Set(v string) error {
+	primary, replica, _ := strings.Cut(v, "=")
+	if primary == "" {
+		return errors.New("shard needs a primary URL")
+	}
+	*s = append(*s, fleet.ShardGroup{Primary: primary, Replica: replica})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8000", "listen address")
+	vnodes := flag.Int("vnodes", fleet.DefaultVnodes, "virtual nodes per shard on the hash ring")
+	checkEvery := flag.Duration("check-interval", 2*time.Second, "shard health-check cadence")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed checks before promoting the replica")
+	var shards shardFlags
+	flag.Var(&shards, "shard", "shard group as primary[=replica] URL pair (repeatable)")
+	flag.Parse()
+
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "ringfleet: at least one -shard is required")
+		os.Exit(2)
+	}
+	router, err := fleet.NewRouter(shards, fleet.RouterOptions{
+		Vnodes:        *vnodes,
+		CheckInterval: *checkEvery,
+		FailAfter:     *failAfter,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringfleet:", err)
+		os.Exit(1)
+	}
+	defer router.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           router,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ringfleet: routing %d shard group(s) on %s", len(shards), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ringfleet:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("ringfleet: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "ringfleet: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

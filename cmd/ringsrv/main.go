@@ -18,6 +18,11 @@
 //	DELETE /v1/sessions/{name}/faults  re-admit a repaired batch (local un-patch or re-embed)
 //	GET    /v1/sessions/{name}/watch   stream ring deltas (long-poll or SSE)
 //
+//	POST   /v1/replica/append          ingest a peer's journal events
+//	DELETE /v1/replica/sessions/{name} drop a replicated journal
+//	POST   /v1/replica/promote         restore replicated journals hot
+//	GET    /v1/replica/status          replication status
+//
 // Usage:
 //
 //	ringsrv -addr :8080 -workers 8 -cache 1024 -journal /var/lib/ringsrv
@@ -26,6 +31,13 @@
 // <dir>/<name>.journal and sessions are restored from their journals at
 // startup, so a killed server resumes each session with an identical
 // ring.
+//
+// Fleet mode: with -replicate-to http://peer:8081 every journal append
+// is synchronously shipped to the peer's /v1/replica endpoints before
+// the event is acknowledged, so losing this process loses no
+// acknowledged event.  With -standby the startup restore is skipped —
+// the process holds replicated journals cold until a router (see
+// cmd/ringfleet) promotes it.
 package main
 
 import (
@@ -41,7 +53,7 @@ import (
 	"time"
 
 	"debruijnring/engine"
-	"debruijnring/session"
+	"debruijnring/fleet"
 )
 
 func main() {
@@ -50,23 +62,30 @@ func main() {
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "LRU entries memoized per (topology, fault set); negative disables")
 	journalDir := flag.String("journal", "", "session journal directory (empty = sessions are in-memory only)")
 	snapshotEvery := flag.Int("snapshot-every", 32, "journal snapshot cadence in fault events")
+	replicateTo := flag.String("replicate-to", "", "peer base URL to stream journal events to (fleet shard mode)")
+	standby := flag.Bool("standby", false, "skip the startup restore; hold journals cold until promoted")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
-	sessions := session.NewManager(eng, session.Options{Dir: *journalDir, SnapshotEvery: *snapshotEvery})
-	if *journalDir != "" {
-		restored, errs := sessions.Restore()
-		for _, err := range errs {
-			log.Printf("ringsrv: session restore: %v", err)
-		}
-		if len(restored) > 0 {
-			log.Printf("ringsrv: restored %d session(s) from %s", len(restored), *journalDir)
-		}
+	shard, err := fleet.NewShard(fleet.ShardConfig{
+		JournalDir:    *journalDir,
+		ReplicateTo:   *replicateTo,
+		Standby:       *standby,
+		SnapshotEvery: *snapshotEvery,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsrv:", err)
+		os.Exit(1)
 	}
-	defer sessions.Close()
+	if shard.Restored > 0 {
+		log.Printf("ringsrv: restored %d session(s) from %s", shard.Restored, *journalDir)
+	}
+	defer shard.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, sessions),
+		Handler:           newServer(shard.Engine, shard.Sessions, shard.Replica.Handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -20,7 +20,7 @@ type server struct {
 	mux *http.ServeMux
 }
 
-func newServer(eng *engine.Engine, sessions *session.Manager) *server {
+func newServer(eng *engine.Engine, sessions *session.Manager, replica http.Handler) *server {
 	s := &server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/embed", s.handleEmbed)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -34,6 +34,9 @@ func newServer(eng *engine.Engine, sessions *session.Manager) *server {
 		h := session.Handler(sessions)
 		s.mux.Handle("/v1/sessions", h)
 		s.mux.Handle("/v1/sessions/", h)
+	}
+	if replica != nil {
+		s.mux.Handle("/v1/replica/", replica)
 	}
 	return s
 }

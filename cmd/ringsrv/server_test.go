@@ -16,7 +16,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	eng := engine.New(engine.Options{})
 	sessions := session.NewManager(eng, session.Options{})
-	ts := httptest.NewServer(newServer(eng, sessions))
+	ts := httptest.NewServer(newServer(eng, sessions, nil))
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -97,6 +97,22 @@
 // repair-vs-recompute latency and the ring-length degradation curve;
 // see examples/faultstream for the in-process view.
 //
+// # The session fleet
+//
+// One process is a ceiling, so the fleet package shards sessions
+// horizontally: ringsrv doubles as a shard worker (fleet.Shard wires
+// the manager over a pluggable session.Store and, with -replicate-to,
+// synchronously ships every journal event to a standby replica before
+// the client's ack), and command ringfleet fronts N shard groups with
+// a consistent-hash router (fleet.Router) that proxies all
+// /v1/sessions traffic — SSE watch streams included — to the shard
+// owning each session name.  When a primary dies the router promotes
+// its replica, which restores the replicated journals through the
+// same deterministic hash-verified replay as a local restart, so an
+// acknowledged event is never lost across a shard kill; chaos
+// -sessions drives many concurrent session streams through the router
+// to exercise exactly that path.
+//
 // # Performance
 //
 // The embedding, verification and Monte-Carlo simulation hot paths run

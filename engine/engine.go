@@ -306,6 +306,13 @@ type SessionStats struct {
 	// UnpatchHitRate is the heal-direction analogue, (LocalHeals +
 	// SpliceHeals) / (LocalHeals + SpliceHeals + HealReembeds).
 	UnpatchHitRate float64 `json:"unpatch_hit_rate"`
+	// ReplicaAppends / ReplicaErrors count journal events shipped to
+	// this shard's replica by the fleet's replicated store, and the
+	// appends that failed (the shard degrades to local-only journaling
+	// for those events: they survive a shard restart but not a shard
+	// loss).  Zero on unreplicated processes.
+	ReplicaAppends int64 `json:"replica_appends,omitempty"`
+	ReplicaErrors  int64 `json:"replica_errors,omitempty"`
 	// SpliceHitRate is (SpliceRepairs + SpliceHeals) / (SpliceRepairs +
 	// SpliceHeals + Reembeds + HealReembeds): the fraction of
 	// ring-changing events beyond the structural tier that the splice
@@ -341,6 +348,18 @@ func (e *Engine) RecordRepair(kind RepairKind) {
 		e.sessions.SpliceRepairs++
 	case RepairSpliceHeal:
 		e.sessions.SpliceHeals++
+	}
+}
+
+// RecordReplication accounts one replica journal append by the fleet's
+// replicated store, so /v1/stats surfaces replication health (appends
+// vs errors) next to the repair counters.
+func (e *Engine) RecordReplication(ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sessions.ReplicaAppends++
+	if !ok {
+		e.sessions.ReplicaErrors++
 	}
 }
 

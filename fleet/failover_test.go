@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"debruijnring/session"
+)
+
+// TestShardHelperProcess is not a test: it is the shard subprocess body
+// for the kill-9 failover test, re-executing this test binary.  It
+// assembles a shard from FLEET_SHARD_* environment variables, prints
+// its listen address, and serves until killed.
+func TestShardHelperProcess(t *testing.T) {
+	if os.Getenv("FLEET_SHARD_HELPER") != "1" {
+		t.Skip("helper-process body; spawned by TestFleetFailoverKill9")
+	}
+	shard, err := NewShard(ShardConfig{
+		JournalDir:  os.Getenv("FLEET_SHARD_JOURNAL"),
+		ReplicateTo: os.Getenv("FLEET_SHARD_REPLICATE_TO"),
+		Standby:     os.Getenv("FLEET_SHARD_STANDBY") == "1",
+	})
+	if err != nil {
+		fmt.Printf("SHARD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("SHARD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SHARD_ADDR=http://%s\n", ln.Addr())
+	http.Serve(ln, shard.Handler())
+}
+
+// shardProc is one shard subprocess.
+type shardProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startShardProc re-executes the test binary as a shard process and
+// waits for it to announce its address.
+func startShardProc(t *testing.T, journal, replicateTo string, standby bool) *shardProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestShardHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"FLEET_SHARD_HELPER=1",
+		"FLEET_SHARD_JOURNAL="+journal,
+		"FLEET_SHARD_REPLICATE_TO="+replicateTo,
+	)
+	if standby {
+		cmd.Env = append(cmd.Env, "FLEET_SHARD_STANDBY=1")
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &shardProc{cmd: cmd}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "SHARD_ADDR="); ok {
+				addr <- v
+				break
+			}
+			if v, ok := strings.CutPrefix(line, "SHARD_ERR="); ok {
+				addr <- "ERR:" + v
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case v := <-addr:
+		if strings.HasPrefix(v, "ERR:") {
+			t.Fatalf("shard process failed to start: %s", v[4:])
+		}
+		p.url = v
+	case <-time.After(30 * time.Second):
+		t.Fatal("shard process never announced its address")
+	}
+	return p
+}
+
+// TestFleetFailoverKill9 is the durability acceptance test: three
+// primary shards each streaming journals to a standby replica, fronted
+// by the router; the primary owning a slice of the sessions is
+// SIGKILLed mid fault-stream.  Every event the fleet acknowledged must
+// survive — the promoted replica serves each session at exactly the
+// acked sequence with the acked ring hash — and traffic resumes within
+// the health-check budget via the client's retries.
+func TestFleetFailoverKill9(t *testing.T) {
+	const groupsN, sessionsN, rounds, killAfter = 3, 12, 5, 2
+
+	groups := make([]ShardGroup, groupsN)
+	primaries := make([]*shardProc, groupsN)
+	for i := range groups {
+		replica := startShardProc(t, t.TempDir(), "", true)
+		primary := startShardProc(t, t.TempDir(), replica.url, false)
+		primaries[i] = primary
+		groups[i] = ShardGroup{Name: fmt.Sprintf("g%d", i), Primary: primary.url, Replica: replica.url}
+	}
+	rt, err := NewRouter(groups, RouterOptions{
+		CheckInterval: 50 * time.Millisecond,
+		FailAfter:     2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	ctx := context.Background()
+	c := &session.Client{Base: rts.URL, MaxAttempts: 10, RetryBase: 50 * time.Millisecond, RetryCap: 500 * time.Millisecond}
+
+	names := make([]string, sessionsN)
+	rings := make(map[string][]string, sessionsN)
+	acked := make(map[string]session.StateJSON, sessionsN)
+	for i := range names {
+		names[i] = fmt.Sprintf("kill-%02d", i)
+		st, err := c.Create(ctx, session.CreateRequest{Name: names[i], Topology: "debruijn(2,6)"})
+		if err != nil {
+			t.Fatalf("create %s: %v", names[i], err)
+		}
+		rings[names[i]] = st.Ring
+		acked[names[i]] = *st
+	}
+
+	// The victim owns the first session; find which groups own anything
+	// so the blast radius is known.
+	victim := rt.Lookup(names[0]).Name
+	victimSessions := 0
+	for _, name := range names {
+		if rt.Lookup(name).Name == victim {
+			victimSessions++
+		}
+	}
+	if victimSessions == 0 || victimSessions == sessionsN {
+		t.Fatalf("degenerate split: victim %s owns %d of %d sessions", victim, victimSessions, sessionsN)
+	}
+	t.Logf("victim group %s owns %d of %d sessions", victim, victimSessions, sessionsN)
+
+	killed := false
+	for round := 0; round < rounds; round++ {
+		if round == killAfter {
+			// SIGKILL the victim primary mid-stream: no flush, no
+			// goodbye.  Acked events are already on its replica.
+			for i, g := range groups {
+				if g.Name == victim {
+					if err := primaries[i].cmd.Process.Kill(); err != nil {
+						t.Fatal(err)
+					}
+					primaries[i].cmd.Wait()
+				}
+			}
+			killed = true
+		}
+		for _, name := range names {
+			label := rings[name][2*round+1]
+			res, err := c.AddFaults(ctx, name, session.FaultsRequest{NodeFaults: []string{label}})
+			if err != nil {
+				t.Fatalf("round %d (killed=%v): fault on %s: %v", round, killed, name, err)
+			}
+			acked[name] = res.State
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status := rt.Status()
+		promoted := false
+		for _, gs := range status {
+			if gs.Name == victim && gs.Promoted {
+				promoted = true
+			}
+		}
+		if promoted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim group %s never promoted: %+v", victim, rt.Status())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Every session — victim-owned restored from the replica, the rest
+	// untouched — must sit at exactly its last acked seq and ring hash:
+	// zero acknowledged-event loss, bit-identical rings.
+	for _, name := range names {
+		got, err := c.State(ctx, name)
+		if err != nil {
+			t.Fatalf("state %s after failover: %v", name, err)
+		}
+		want := acked[name]
+		if got.Seq != want.Seq || got.RingHash != want.RingHash {
+			t.Errorf("session %s (owner %s): seq/hash = %d/%s, acked %d/%s",
+				name, rt.Lookup(name).Name, got.Seq, got.RingHash, want.Seq, want.RingHash)
+		}
+	}
+
+	// The promoted group keeps absorbing the stream.
+	for _, name := range names {
+		if rt.Lookup(name).Name != victim {
+			continue
+		}
+		if _, err := c.AddFaults(ctx, name, session.FaultsRequest{NodeFaults: []string{rings[name][11]}}); err != nil {
+			t.Fatalf("post-failover fault on %s: %v", name, err)
+		}
+	}
+}

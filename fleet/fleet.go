@@ -1,0 +1,44 @@
+// Package fleet shards the session subsystem across worker processes
+// and keeps every shard hot-failoverable — redundancy at the service
+// layer to match the redundancy the ring-embedding algorithms provide
+// inside the topology.
+//
+// The fleet has three roles, all built from the same ringsrv binary:
+//
+//   - A shard owns a slice of the session keyspace: a plain ringsrv
+//     process whose session.Manager journals through a ReplicatedStore,
+//     so every acknowledged journal event is also appended — before the
+//     client sees the ack — to a designated replica shard over HTTP.
+//
+//   - A replica ingests those events into its own journal store via the
+//     /v1/replica endpoints (Replica), cold: sessions are not live until
+//     promotion.  Because journals are hash-chained and replay is
+//     deterministic and hash-verified (see package session), promotion
+//     restores every session bit-identical to the victim's last
+//     acknowledged state.
+//
+//   - The router (Router, command ringfleet) consistent-hashes session
+//     names to shard groups, proxies all /v1/sessions traffic — create,
+//     fault/heal batches, long-poll and SSE watch — to the owning
+//     shard, health-checks each group, and on shard death promotes the
+//     replica and re-targets the group, restoring service without
+//     losing a single acknowledged event.
+//
+// The paper's thesis — lose a processor, keep the ring — applied one
+// level up: lose a shard, keep every session.
+package fleet
+
+import "net/http"
+
+// fleetTransport is the HTTP transport shared by the router's proxies
+// and the replication clients.  DefaultTransport's 2 idle connections
+// per host collapses fleet traffic — dozens of concurrent session
+// streams funneling into a handful of shard hosts — into constant
+// connection churn; a deep idle pool keeps each stream on a hot
+// connection.
+var fleetTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 128
+	return t
+}()

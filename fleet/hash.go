@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per shard on the hash ring.
+// 128 vnodes keep the keyspace split within a few percent of fair for
+// single-digit fleets while adding or removing one shard remaps only
+// ~1/N of the session names.
+const DefaultVnodes = 128
+
+// Hash is a consistent-hash ring mapping session names to shard names.
+// The ring is deterministic in its member set: two rings built from the
+// same shard names — in any insertion order, in different processes, on
+// different days — route every key identically, which is what lets a
+// restarted router (or an independently configured second router) keep
+// sending existing sessions to the shards that own their journals.
+//
+// Hash is not safe for concurrent mutation; Lookup is safe to call
+// concurrently once the membership is settled.
+type Hash struct {
+	vnodes int
+	keys   []uint64          // sorted vnode positions
+	owner  map[uint64]string // vnode position -> shard name
+}
+
+// NewHash returns a ring with the given virtual-node count (<= 0 uses
+// DefaultVnodes) over the named shards.
+func NewHash(vnodes int, shards ...string) *Hash {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	h := &Hash{vnodes: vnodes, owner: make(map[uint64]string, vnodes*len(shards))}
+	for _, s := range shards {
+		h.Add(s)
+	}
+	return h
+}
+
+// Add inserts a shard's vnodes into the ring.  Adding a shard that is
+// already a member is a no-op.
+func (h *Hash) Add(shard string) {
+	if h.Member(shard) {
+		return
+	}
+	for i := 0; i < h.vnodes; i++ {
+		pos := hashKey(shard + "#" + strconv.Itoa(i))
+		cur, taken := h.owner[pos]
+		// On the (vanishingly rare) vnode collision, the
+		// lexicographically smaller shard name wins, independent of
+		// insertion order — determinism over fairness.
+		if taken && cur <= shard {
+			continue
+		}
+		if !taken {
+			h.keys = append(h.keys, pos)
+		}
+		h.owner[pos] = shard
+	}
+	sort.Slice(h.keys, func(i, j int) bool { return h.keys[i] < h.keys[j] })
+}
+
+// Remove deletes a shard's vnodes from the ring.
+func (h *Hash) Remove(shard string) {
+	kept := h.keys[:0]
+	for _, pos := range h.keys {
+		if h.owner[pos] == shard {
+			delete(h.owner, pos)
+			continue
+		}
+		kept = append(kept, pos)
+	}
+	h.keys = kept
+}
+
+// Member reports whether the shard is on the ring.
+func (h *Hash) Member(shard string) bool {
+	for _, s := range h.owner {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the shard owning the key: the first vnode at or after
+// the key's position, wrapping around.  An empty ring returns "".
+func (h *Hash) Lookup(key string) string {
+	if len(h.keys) == 0 {
+		return ""
+	}
+	pos := hashKey(key)
+	i := sort.Search(len(h.keys), func(i int) bool { return h.keys[i] >= pos })
+	if i == len(h.keys) {
+		i = 0
+	}
+	return h.owner[h.keys[i]]
+}
+
+func hashKey(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	// FNV alone spreads the near-identical vnode keys ("s0#17",
+	// "s0#18", …) unevenly around the ring; a splitmix64 finalizer
+	// restores avalanche so the keyspace split stays close to fair.
+	x := f.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("session-%04d", i)
+	}
+	return out
+}
+
+// TestHashDeterministicAcrossOrder is the property a restarted (or
+// independently configured) router depends on: the routing function is
+// determined by the member set alone, not by construction history.
+func TestHashDeterministicAcrossOrder(t *testing.T) {
+	orders := [][]string{
+		{"alpha", "beta", "gamma", "delta"},
+		{"delta", "gamma", "beta", "alpha"},
+		{"beta", "delta", "alpha", "gamma"},
+	}
+	rings := make([]*Hash, len(orders))
+	for i, o := range orders {
+		rings[i] = NewHash(0, o...)
+	}
+	// A ring that reached the same member set through churn must also
+	// agree: add a shard, remove it again.
+	churned := NewHash(0, orders[0]...)
+	churned.Add("epsilon")
+	churned.Remove("epsilon")
+	rings = append(rings, churned)
+
+	for _, k := range keys(2000) {
+		want := rings[0].Lookup(k)
+		for i, h := range rings[1:] {
+			if got := h.Lookup(k); got != want {
+				t.Fatalf("ring %d routes %q to %q, ring 0 to %q", i+1, k, got, want)
+			}
+		}
+	}
+}
+
+// TestHashRemapFraction checks the consistent-hash contract: growing a
+// fleet of N shards by one remaps roughly 1/(N+1) of the names — and
+// every remapped name moves TO the new shard, never between old ones.
+func TestHashRemapFraction(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3"}
+	before := NewHash(0, shards...)
+	after := NewHash(0, append(shards, "s4")...)
+
+	names := keys(5000)
+	moved := 0
+	for _, k := range names {
+		b, a := before.Lookup(k), after.Lookup(k)
+		if b == a {
+			continue
+		}
+		moved++
+		if a != "s4" {
+			t.Fatalf("adding s4 moved %q from %q to %q (old-to-old churn)", k, b, a)
+		}
+	}
+	frac := float64(moved) / float64(len(names))
+	// Ideal is 1/5 = 20%; vnode variance keeps it in a band, nowhere
+	// near the ~80% a naive mod-N rehash would churn.
+	if frac < 0.08 || frac > 0.35 {
+		t.Errorf("adding 1 shard to 4 remapped %.1f%% of names, want ≈20%%", 100*frac)
+	}
+
+	// Removing the shard again restores the original routing exactly.
+	after.Remove("s4")
+	for _, k := range names {
+		if b, a := before.Lookup(k), after.Lookup(k); b != a {
+			t.Fatalf("after remove, %q routes to %q, originally %q", k, a, b)
+		}
+	}
+}
+
+// TestHashDistribution checks the vnode count keeps the keyspace split
+// usably fair for a small fleet.
+func TestHashDistribution(t *testing.T) {
+	h := NewHash(0, "s0", "s1", "s2")
+	counts := map[string]int{}
+	names := keys(9000)
+	for _, k := range names {
+		counts[h.Lookup(k)]++
+	}
+	for shard, n := range counts {
+		frac := float64(n) / float64(len(names))
+		// Ideal 33%; 128 vnodes should land each shard within about
+		// ±12 points.
+		if frac < 0.21 || frac > 0.45 {
+			t.Errorf("shard %s owns %.1f%% of names, want ≈33%%", shard, 100*frac)
+		}
+	}
+}
+
+func TestHashEdgeCases(t *testing.T) {
+	empty := NewHash(0)
+	if got := empty.Lookup("anything"); got != "" {
+		t.Errorf("empty ring routed to %q", got)
+	}
+	h := NewHash(0, "only")
+	for _, k := range keys(50) {
+		if got := h.Lookup(k); got != "only" {
+			t.Fatalf("single-shard ring routed %q to %q", k, got)
+		}
+	}
+	h.Add("only") // duplicate add is a no-op
+	if !h.Member("only") || h.Member("ghost") {
+		t.Error("membership bookkeeping wrong")
+	}
+}

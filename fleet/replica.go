@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"sync"
+	"time"
+
+	"debruijnring/session"
+)
+
+// Replica is the ingest side of shard replication: it receives journal
+// events from a primary shard's ReplicatedStore and appends them —
+// cold, without running the session state machine — to this process's
+// local store.  On promotion it closes the ingest writers and restores
+// every journal through the session manager's deterministic,
+// hash-verified replay, bringing the victim's sessions back hot.
+type Replica struct {
+	store session.Store    // local store the events are appended to
+	mgr   *session.Manager // promotion target; its Restore goes hot
+	logf  func(string, ...any)
+
+	mu       sync.Mutex
+	writers  map[string]session.JournalWriter
+	promoted bool
+}
+
+// NewReplica returns a Replica appending into store and promoting into
+// mgr.  store must be the process-local store (not a ReplicatedStore):
+// ingested events are already someone else's replication stream.
+func NewReplica(store session.Store, mgr *session.Manager, logf func(string, ...any)) *Replica {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Replica{store: store, mgr: mgr, logf: logf, writers: make(map[string]session.JournalWriter)}
+}
+
+// appendRequest is the replication wire format: one session's events,
+// in journal order.
+type appendRequest struct {
+	Name   string          `json:"name"`
+	Events []session.Event `json:"events"`
+}
+
+type appendResponse struct {
+	Appended int `json:"appended"`
+}
+
+// promoteResponse reports a promotion: sessions restored hot and the
+// journals that failed replay (left on disk, untouched).
+type promoteResponse struct {
+	Restored int      `json:"restored"`
+	Already  bool     `json:"already,omitempty"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// statusResponse is the replica's observability snapshot.
+type statusResponse struct {
+	Promoted bool     `json:"promoted"`
+	Journals []string `json:"journals"`
+}
+
+// Handler exposes the replication endpoints, mounted under /v1/replica:
+//
+//	POST   /v1/replica/append          ingest one batch of journal events
+//	DELETE /v1/replica/sessions/{name} drop a replicated journal
+//	POST   /v1/replica/promote         restore every journal hot (idempotent)
+//	GET    /v1/replica/status          promoted flag + replicated journals
+func (rp *Replica) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/replica/append", rp.handleAppend)
+	mux.HandleFunc("DELETE /v1/replica/sessions/{name}", rp.handleRemove)
+	mux.HandleFunc("POST /v1/replica/promote", rp.handlePromote)
+	mux.HandleFunc("GET /v1/replica/status", rp.handleStatus)
+	return mux
+}
+
+func (rp *Replica) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if rp.store == nil {
+		replicaError(w, http.StatusServiceUnavailable, errors.New("replica: no journal store (start the shard with -journal)"))
+		return
+	}
+	var req appendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		replicaError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
+		return
+	}
+	if !session.ValidName(req.Name) || len(req.Events) == 0 {
+		replicaError(w, http.StatusBadRequest, errors.New("append needs a valid session name and at least one event"))
+		return
+	}
+	n, err := rp.ingest(req.Name, req.Events)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errPromoted) {
+			status = http.StatusConflict
+		}
+		replicaError(w, status, err)
+		return
+	}
+	writeReplicaJSON(w, appendResponse{Appended: n})
+}
+
+// errPromoted refuses ingest after promotion: the journals now back
+// live sessions appending their own events.
+var errPromoted = errors.New("replica: promoted; no longer accepting replication")
+
+// ingest appends one batch to the named journal, opening (or creating)
+// it on first touch.  A batch starting with the session's created event
+// replaces any stale journal of the same name, so a re-created session
+// mirrors cleanly over leftovers from a deleted ancestor.
+func (rp *Replica) ingest(name string, events []session.Event) (int, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.promoted {
+		return 0, errPromoted
+	}
+	if rp.mgr != nil {
+		if _, live := rp.mgr.Get(name); live {
+			return 0, fmt.Errorf("replica: session %q is live on this shard", name)
+		}
+	}
+	w, err := rp.writerLocked(name, events[0])
+	if err != nil {
+		return 0, err
+	}
+	for i, ev := range events {
+		if err := w.Append(ev); err != nil {
+			return i, fmt.Errorf("replica: append %s seq %d: %w", name, ev.Seq, err)
+		}
+	}
+	return len(events), nil
+}
+
+func (rp *Replica) writerLocked(name string, first session.Event) (session.JournalWriter, error) {
+	if first.Kind == "created" && first.Seq == 0 {
+		// A fresh stream: drop any cached writer and stale journal.
+		if w, ok := rp.writers[name]; ok {
+			w.Close()
+			delete(rp.writers, name)
+		}
+		if err := rp.store.Remove(name); err != nil {
+			return nil, err
+		}
+		w, err := rp.store.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		rp.writers[name] = w
+		return w, nil
+	}
+	if w, ok := rp.writers[name]; ok {
+		return w, nil
+	}
+	w, err := rp.store.Open(name)
+	if errors.Is(err, fs.ErrNotExist) {
+		// Mid-stream adoption (the primary outlived a replica restart):
+		// accept the tail so failover still has the recent events; the
+		// next created stream replaces it.
+		w, err = rp.store.Create(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rp.writers[name] = w
+	return w, nil
+}
+
+func (rp *Replica) handleRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rp.mu.Lock()
+	if jw, ok := rp.writers[name]; ok {
+		jw.Close()
+		delete(rp.writers, name)
+	}
+	var err error
+	if rp.store != nil && !rp.promoted {
+		err = rp.store.Remove(name)
+	}
+	rp.mu.Unlock()
+	if err != nil {
+		replicaError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePromote flips the replica hot: ingest stops, every replicated
+// journal is restored through the manager's hash-verified replay, and
+// the process serves /v1/sessions for the victim's keyspace from here
+// on.  Promoting twice is a cheap no-op, so a router retrying a
+// promotion is safe.
+func (rp *Replica) handlePromote(w http.ResponseWriter, r *http.Request) {
+	rp.mu.Lock()
+	if rp.promoted {
+		rp.mu.Unlock()
+		writeReplicaJSON(w, promoteResponse{Already: true})
+		return
+	}
+	rp.promoted = true
+	for name, jw := range rp.writers {
+		jw.Close()
+		delete(rp.writers, name)
+	}
+	rp.mu.Unlock()
+
+	resp := promoteResponse{}
+	if rp.mgr != nil {
+		restored, errs := rp.mgr.Restore()
+		resp.Restored = len(restored)
+		for _, err := range errs {
+			resp.Errors = append(resp.Errors, err.Error())
+		}
+	}
+	rp.logf("fleet: promoted: %d session(s) restored hot, %d error(s)", resp.Restored, len(resp.Errors))
+	writeReplicaJSON(w, resp)
+}
+
+func (rp *Replica) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rp.mu.Lock()
+	promoted := rp.promoted
+	rp.mu.Unlock()
+	st := statusResponse{Promoted: promoted, Journals: []string{}}
+	if rp.store != nil {
+		if names, err := rp.store.Names(); err == nil {
+			st.Journals = names
+		}
+	}
+	writeReplicaJSON(w, st)
+}
+
+// Promoted reports whether the replica has gone hot.
+func (rp *Replica) Promoted() bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.promoted
+}
+
+// Close releases the ingest writers (a standby being shut down).
+func (rp *Replica) Close() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for name, jw := range rp.writers {
+		jw.Close()
+		delete(rp.writers, name)
+	}
+}
+
+// ReplicaClient is the shard side of the replication stream: a thin
+// client for a peer's /v1/replica endpoints.
+type ReplicaClient struct {
+	// Base is the replica's server root, e.g. "http://replica1:8080".
+	Base string
+	// HTTP is the underlying client; nil uses a keep-alive client with
+	// a 10s timeout (replication is synchronous on the ack path — a
+	// bounded timeout keeps a hung replica from wedging the shard).
+	HTTP *http.Client
+}
+
+// replicaHTTP is the shared default client: replication sits on the ack
+// path of every event, so it runs on the fleet transport's deep
+// keep-alive pool.
+var replicaHTTP = &http.Client{Timeout: 10 * time.Second, Transport: fleetTransport}
+
+func (c *ReplicaClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return replicaHTTP
+}
+
+// Append ships one batch of journal events for the named session.
+func (c *ReplicaClient) Append(name string, events []session.Event) error {
+	body, err := json.Marshal(appendRequest{Name: name, Events: events})
+	if err != nil {
+		return err
+	}
+	return c.post("/v1/replica/append", body, nil)
+}
+
+// Remove drops the named session's replicated journal.
+func (c *ReplicaClient) Remove(name string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/v1/replica/sessions/"+name, nil)
+	if err != nil {
+		return err
+	}
+	return c.roundTrip(req, nil)
+}
+
+// Promote flips the replica hot, returning the restore report.
+func (c *ReplicaClient) Promote() (*promoteResponse, error) {
+	var resp promoteResponse
+	if err := c.post("/v1/replica/promote", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *ReplicaClient) post(path string, body []byte, dst any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.roundTrip(req, dst)
+}
+
+func (c *ReplicaClient) roundTrip(req *http.Request, dst any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("replica %s: %s (HTTP %d)", req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("replica %s: HTTP %d", req.URL.Path, resp.StatusCode)
+	}
+	if dst == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+func writeReplicaJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func replicaError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

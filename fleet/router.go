@@ -1,0 +1,472 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"debruijnring/session"
+)
+
+// ShardGroup is one consistent-hash slot of the fleet: a primary shard
+// and (optionally) the replica its journal streams to.
+type ShardGroup struct {
+	// Name is the group's stable hash identity; session placement
+	// follows it across router restarts and primary/replica swaps.
+	// Empty defaults to the primary URL.
+	Name string
+	// Primary is the owning shard's base URL.
+	Primary string
+	// Replica is the standby's base URL; "" leaves the group
+	// unreplicated (a dead primary then just stays down).
+	Replica string
+}
+
+// RouterOptions tunes the router.
+type RouterOptions struct {
+	// Vnodes per group on the hash ring (<= 0 uses DefaultVnodes).
+	Vnodes int
+	// CheckInterval is the health-check cadence (default 2s).
+	CheckInterval time.Duration
+	// FailAfter is the consecutive health-check failures that trigger
+	// promotion (default 3); the failover budget is roughly
+	// CheckInterval*FailAfter plus the promotion itself.
+	FailAfter int
+	// Client is used for health checks; nil uses a client bounded by
+	// CheckInterval.  Promotions use a separate 60s-bounded client
+	// (restores replay journals and can take a while).
+	Client *http.Client
+	// Logf receives failover decisions; nil discards them.
+	Logf func(string, ...any)
+}
+
+// group is one ShardGroup's live routing state.
+type group struct {
+	cfg ShardGroup
+
+	mu       sync.Mutex
+	active   string // base URL currently serving the group's keyspace
+	promoted bool
+	fails    int  // consecutive health-check failures of active
+	down     bool // active failed FailAfter times and no promotion is possible
+
+	requests atomic.Int64
+}
+
+func (g *group) activeURL() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active
+}
+
+func (g *group) isDown() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.down
+}
+
+// Router fronts the fleet: it consistent-hashes session names to shard
+// groups, proxies all /v1/sessions traffic (long-poll and SSE watch
+// included) to the owning group's active shard, spreads the stateless
+// one-shot endpoints round-robin, health-checks every group, and on a
+// dead primary promotes the replica and re-targets the group.
+type Router struct {
+	opts    RouterOptions
+	hash    *Hash
+	order   []string // group names, sorted — round-robin order
+	groups  map[string]*group
+	proxies map[string]*httputil.ReverseProxy
+
+	health  *http.Client
+	promote *http.Client
+	fanout  *http.Client // list-merge fan-out; health's timeout is too tight
+	logf    func(string, ...any)
+
+	rr   atomic.Uint64
+	kick chan *group
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRouter builds a router over the groups and starts its health loop;
+// Close stops it.  Group names must be unique.
+func NewRouter(groups []ShardGroup, opts RouterOptions) (*Router, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("fleet: router needs at least one shard group")
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = 2 * time.Second
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 3
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	health := opts.Client
+	if health == nil {
+		health = &http.Client{Timeout: opts.CheckInterval, Transport: fleetTransport}
+	}
+	rt := &Router{
+		opts:    opts,
+		groups:  make(map[string]*group, len(groups)),
+		proxies: make(map[string]*httputil.ReverseProxy, len(groups)),
+		health:  health,
+		promote: &http.Client{Timeout: 60 * time.Second, Transport: fleetTransport},
+		fanout:  &http.Client{Timeout: 15 * time.Second, Transport: fleetTransport},
+		logf:    logf,
+		kick:    make(chan *group, len(groups)),
+		stop:    make(chan struct{}),
+	}
+	names := make([]string, 0, len(groups))
+	for _, cfg := range groups {
+		if cfg.Name == "" {
+			cfg.Name = cfg.Primary
+		}
+		if cfg.Primary == "" {
+			return nil, fmt.Errorf("fleet: group %q has no primary URL", cfg.Name)
+		}
+		if _, err := url.Parse(cfg.Primary); err != nil {
+			return nil, fmt.Errorf("fleet: group %q primary: %w", cfg.Name, err)
+		}
+		if _, dup := rt.groups[cfg.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate group name %q", cfg.Name)
+		}
+		g := &group{cfg: cfg, active: cfg.Primary}
+		rt.groups[cfg.Name] = g
+		rt.proxies[cfg.Name] = rt.newProxy(g)
+		names = append(names, cfg.Name)
+	}
+	sort.Strings(names)
+	rt.order = names
+	rt.hash = NewHash(opts.Vnodes, names...)
+
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop (in-flight proxied requests finish on
+// their own).
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+// Lookup returns the group owning a session name.
+func (rt *Router) Lookup(name string) ShardGroup {
+	return rt.groups[rt.hash.Lookup(name)].cfg
+}
+
+// newProxy builds the group's reverse proxy.  The target resolves per
+// request from the group's active URL, so a promotion re-targets every
+// subsequent request without touching the proxy.  FlushInterval -1
+// streams SSE watch frames through unbuffered.
+func (rt *Router) newProxy(g *group) *httputil.ReverseProxy {
+	return &httputil.ReverseProxy{
+		Transport: fleetTransport,
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			target, err := url.Parse(g.activeURL())
+			if err != nil {
+				return
+			}
+			pr.SetURL(target)
+			pr.Out.Host = target.Host
+		},
+		FlushInterval: -1,
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			// A proxy error is an early fault signal: wake the health
+			// loop instead of waiting out the cadence.  The client sees
+			// 502 and retries through the failover window.
+			select {
+			case rt.kick <- g:
+			default:
+			}
+			routerError(w, http.StatusBadGateway,
+				fmt.Errorf("fleet: shard %s unreachable: %w", g.cfg.Name, err))
+		},
+	}
+}
+
+// ServeHTTP routes: /v1/sessions traffic by consistent hash of the
+// session name, the stateless endpoints round-robin across groups, and
+// the router's own health and fleet-status endpoints.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		w.Write([]byte("ok\n"))
+	case path == "/v1/fleet":
+		rt.serveFleetStatus(w)
+	case path == "/v1/sessions":
+		if r.Method == http.MethodPost {
+			rt.routeCreate(w, r)
+			return
+		}
+		rt.serveList(w, r)
+	case strings.HasPrefix(path, "/v1/sessions/"):
+		seg := strings.SplitN(strings.TrimPrefix(path, "/v1/sessions/"), "/", 2)[0]
+		name, err := url.PathUnescape(seg)
+		if err != nil || name == "" {
+			routerError(w, http.StatusBadRequest, fmt.Errorf("bad session name %q", seg))
+			return
+		}
+		rt.proxyTo(rt.hash.Lookup(name), w, r)
+	default:
+		// Stateless endpoints (embed, verify, stats, …): any shard
+		// answers; spread the load.
+		rt.proxyTo(rt.nextGroup(), w, r)
+	}
+}
+
+// routeCreate peeks the create payload for the session name — the only
+// routing key POST /v1/sessions carries — then forwards the request,
+// body restored, to the owning shard.
+func (rt *Router) routeCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		routerError(w, http.StatusBadRequest, fmt.Errorf("reading create body: %w", err))
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Name == "" {
+		routerError(w, http.StatusBadRequest, errors.New("create payload names no session"))
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rt.proxyTo(rt.hash.Lookup(req.Name), w, r)
+}
+
+// serveList fans GET /v1/sessions out to every group and merges the
+// summaries sorted by name.  Groups that fail to answer are skipped and
+// named in the X-Fleet-Partial header — a session on a mid-failover
+// group briefly disappears from listings rather than failing them.
+func (rt *Router) serveList(w http.ResponseWriter, r *http.Request) {
+	type result struct {
+		name     string
+		sessions []session.StateJSON
+		err      error
+	}
+	results := make(chan result, len(rt.order))
+	for _, name := range rt.order {
+		g := rt.groups[name]
+		go func() {
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, g.activeURL()+"/v1/sessions", nil)
+			if err != nil {
+				results <- result{name: name, err: err}
+				return
+			}
+			resp, err := rt.fanout.Do(req)
+			if err != nil {
+				results <- result{name: name, err: err}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				results <- result{name: name, err: fmt.Errorf("HTTP %d", resp.StatusCode)}
+				return
+			}
+			var sessions []session.StateJSON
+			err = json.NewDecoder(resp.Body).Decode(&sessions)
+			results <- result{name: name, sessions: sessions, err: err}
+		}()
+	}
+	merged := []session.StateJSON{}
+	var partial []string
+	for range rt.order {
+		res := <-results
+		if res.err != nil {
+			partial = append(partial, res.name)
+			continue
+		}
+		merged = append(merged, res.sessions...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	if len(partial) > 0 {
+		sort.Strings(partial)
+		w.Header().Set("X-Fleet-Partial", strings.Join(partial, ","))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(merged)
+}
+
+func (rt *Router) proxyTo(groupName string, w http.ResponseWriter, r *http.Request) {
+	g, ok := rt.groups[groupName]
+	if !ok {
+		routerError(w, http.StatusInternalServerError, fmt.Errorf("no group %q", groupName))
+		return
+	}
+	if g.isDown() {
+		routerError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("fleet: shard group %s is down (no replica to promote)", groupName))
+		return
+	}
+	g.requests.Add(1)
+	rt.proxies[groupName].ServeHTTP(w, r)
+}
+
+// nextGroup round-robins the stateless endpoints over non-down groups.
+func (rt *Router) nextGroup() string {
+	n := len(rt.order)
+	start := int(rt.rr.Add(1))
+	for i := 0; i < n; i++ {
+		name := rt.order[(start+i)%n]
+		if !rt.groups[name].isDown() {
+			return name
+		}
+	}
+	return rt.order[start%n]
+}
+
+// GroupStatus is one group's row in the fleet-status report.
+type GroupStatus struct {
+	Name     string `json:"name"`
+	Primary  string `json:"primary"`
+	Replica  string `json:"replica,omitempty"`
+	Active   string `json:"active"`
+	Promoted bool   `json:"promoted,omitempty"`
+	Down     bool   `json:"down,omitempty"`
+	Fails    int    `json:"consecutive_fails,omitempty"`
+	Requests int64  `json:"requests"`
+}
+
+func (rt *Router) serveFleetStatus(w http.ResponseWriter) {
+	out := make([]GroupStatus, 0, len(rt.order))
+	for _, name := range rt.order {
+		g := rt.groups[name]
+		g.mu.Lock()
+		out = append(out, GroupStatus{
+			Name:     name,
+			Primary:  g.cfg.Primary,
+			Replica:  g.cfg.Replica,
+			Active:   g.active,
+			Promoted: g.promoted,
+			Down:     g.down,
+			Fails:    g.fails,
+			Requests: g.requests.Load(),
+		})
+		g.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// Status returns the fleet-status rows (the /v1/fleet payload).
+func (rt *Router) Status() []GroupStatus {
+	var buf bytes.Buffer
+	rw := &statusRecorder{body: &buf}
+	rt.serveFleetStatus(rw)
+	var out []GroupStatus
+	json.Unmarshal(buf.Bytes(), &out)
+	return out
+}
+
+// statusRecorder is a minimal ResponseWriter for Status.
+type statusRecorder struct{ body *bytes.Buffer }
+
+func (s *statusRecorder) Header() http.Header        { return http.Header{} }
+func (s *statusRecorder) Write(p []byte) (int, error) { return s.body.Write(p) }
+func (s *statusRecorder) WriteHeader(int)            {}
+
+// healthLoop drives the failure detector: every CheckInterval (or
+// immediately on a proxy-error kick) each group's active shard is
+// probed; FailAfter consecutive failures promote the replica (or mark
+// an unreplicated group down).  Recovery of the active shard clears the
+// failure count — but a dead PRIMARY whose group already promoted stays
+// retired even if it comes back: the replica owns the journals now.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.opts.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case g := <-rt.kick:
+			rt.checkGroup(g)
+		case <-ticker.C:
+			for _, name := range rt.order {
+				rt.checkGroup(rt.groups[name])
+			}
+		}
+	}
+}
+
+func (rt *Router) checkGroup(g *group) {
+	ok := rt.probe(g.activeURL())
+	g.mu.Lock()
+	if ok {
+		g.fails = 0
+		if g.down {
+			rt.logf("fleet: group %s recovered (%s answering)", g.cfg.Name, g.active)
+		}
+		g.down = false
+		g.mu.Unlock()
+		return
+	}
+	g.fails++
+	promotable := !g.promoted && g.cfg.Replica != "" && g.fails >= rt.opts.FailAfter
+	failed := g.fails
+	g.mu.Unlock()
+
+	if !promotable {
+		if failed >= rt.opts.FailAfter {
+			g.mu.Lock()
+			if !g.down {
+				rt.logf("fleet: group %s is down after %d failed checks (no replica to promote)", g.cfg.Name, failed)
+			}
+			g.down = true
+			g.mu.Unlock()
+		}
+		return
+	}
+
+	rt.logf("fleet: group %s primary %s failed %d checks; promoting replica %s",
+		g.cfg.Name, g.cfg.Primary, failed, g.cfg.Replica)
+	rc := &ReplicaClient{Base: g.cfg.Replica, HTTP: rt.promote}
+	resp, err := rc.Promote()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err != nil {
+		rt.logf("fleet: group %s promotion failed: %v", g.cfg.Name, err)
+		g.down = true
+		return
+	}
+	g.active = g.cfg.Replica
+	g.promoted = true
+	g.fails = 0
+	g.down = false
+	rt.logf("fleet: group %s now served by %s (%d session(s) restored, %d restore error(s))",
+		g.cfg.Name, g.active, resp.Restored, len(resp.Errors))
+}
+
+// probe reports whether the shard's health endpoint answers.
+func (rt *Router) probe(base string) bool {
+	resp, err := rt.health.Get(base + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func routerError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

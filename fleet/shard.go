@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"errors"
+	"net/http"
+
+	"debruijnring/engine"
+	"debruijnring/session"
+)
+
+// ShardConfig assembles one fleet worker process.
+type ShardConfig struct {
+	// JournalDir is the local journal directory; "" keeps sessions
+	// in-memory (then neither replication nor replica ingest works).
+	JournalDir string
+	// ReplicateTo is the peer replica's base URL (e.g.
+	// "http://replica1:8080"); "" disables outbound replication.
+	ReplicateTo string
+	// Standby suppresses the startup Restore: a standby shard holds its
+	// journals cold until the router promotes it.  A primary restores
+	// its own journals at startup as before.
+	Standby bool
+	// SnapshotEvery / EventBuffer are passed to the session manager.
+	SnapshotEvery int
+	EventBuffer   int
+	// Workers / CacheSize are passed to the engine.
+	Workers   int
+	CacheSize int
+	// Logf receives operational complaints; nil discards them.
+	Logf func(string, ...any)
+}
+
+// Shard is one assembled fleet worker: engine, session manager wired
+// through the (possibly replicated) store, and the replica ingest side.
+// cmd/ringsrv mounts these next to its one-shot embedding endpoints;
+// tests and benchmarks serve Handler directly.
+type Shard struct {
+	Engine   *engine.Engine
+	Sessions *session.Manager
+	Replica  *Replica
+	// Restored counts the sessions brought back hot at startup.
+	Restored int
+	// RestoreErrors carries the journals that failed to restore.
+	RestoreErrors []error
+}
+
+// NewShard builds a shard from the config: local store, optional
+// replication wrapper, manager, replica ingest, and (unless Standby)
+// the startup restore.
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	eng := engine.New(engine.Options{Workers: cfg.Workers, CacheSize: cfg.CacheSize})
+
+	var local session.Store
+	if cfg.JournalDir != "" {
+		local = session.NewDirStore(cfg.JournalDir)
+	}
+	store := local
+	if cfg.ReplicateTo != "" {
+		if local == nil {
+			return nil, errors.New("fleet: -replicate-to requires a journal directory (replication streams the journal)")
+		}
+		store = NewReplicatedStore(local, &ReplicaClient{Base: cfg.ReplicateTo}, eng, logf)
+	}
+
+	mgr := session.NewManager(eng, session.Options{
+		Store:         store,
+		SnapshotEvery: cfg.SnapshotEvery,
+		EventBuffer:   cfg.EventBuffer,
+	})
+	s := &Shard{
+		Engine:   eng,
+		Sessions: mgr,
+		Replica:  NewReplica(local, mgr, logf),
+	}
+	if store != nil && !cfg.Standby {
+		restored, errs := mgr.Restore()
+		s.Restored = len(restored)
+		s.RestoreErrors = errs
+		for _, err := range errs {
+			logf("fleet: restore: %v", err)
+		}
+	}
+	return s, nil
+}
+
+// Handler serves the shard's session API, replication endpoints, stats
+// and health — everything the router and a peer primary need.  (The
+// ringsrv binary serves a superset: these plus the one-shot embedding
+// endpoints.)
+func (s *Shard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	h := session.Handler(s.Sessions)
+	mux.Handle("/v1/sessions", h)
+	mux.Handle("/v1/sessions/", h)
+	mux.Handle("/v1/replica/", s.Replica.Handler())
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeReplicaJSON(w, s.Engine.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Close shuts the shard down: sessions snapshotted, journals flushed
+// and synced, ingest writers released.
+func (s *Shard) Close() {
+	s.Sessions.Close()
+	s.Replica.Close()
+}

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"debruijnring/engine"
+	"debruijnring/session"
+)
+
+// ReplicatedStore is a session.Store that tees every journal append to
+// a replica shard over HTTP before the append returns — which is before
+// the session acknowledges the event to its client.  That ordering is
+// the fleet's durability contract: an acknowledged event is on two
+// processes, so SIGKILLing the owning shard loses nothing a client was
+// told had happened, and the promoted replica's hash-verified replay
+// reconstructs the exact acknowledged rings.
+//
+// Replication is best-effort beyond the happy path: if the replica is
+// unreachable the append degrades to local-only journaling (the event
+// survives a shard restart but not a shard loss), the failure is
+// counted in the engine's replica_errors, and traffic keeps flowing.
+// Reads (Load, Names) and Restore never touch the replica — the local
+// journal is authoritative for this process's own lifetime.
+type ReplicatedStore struct {
+	local   session.Store
+	replica *ReplicaClient
+	eng     *engine.Engine // replication counters; may be nil
+	logf    func(string, ...any)
+}
+
+// NewReplicatedStore wraps local so every append is also shipped to
+// replica.  eng (optional) receives RecordReplication counts; logf
+// (optional) receives degraded-mode complaints.
+func NewReplicatedStore(local session.Store, replica *ReplicaClient, eng *engine.Engine, logf func(string, ...any)) *ReplicatedStore {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &ReplicatedStore{local: local, replica: replica, eng: eng, logf: logf}
+}
+
+// Create opens a fresh local journal; the replica's copy materializes
+// when the first append (the created event) ships.
+func (s *ReplicatedStore) Create(name string) (session.JournalWriter, error) {
+	w, err := s.local.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &replicatedWriter{name: name, local: w, store: s}, nil
+}
+
+// Open reopens the local journal for appending; subsequent appends
+// resume the replication stream mid-journal (the replica tolerates
+// tails it has already seen only as far as it never re-reads — the
+// stream is append-only in lockstep with the local file).
+func (s *ReplicatedStore) Open(name string) (session.JournalWriter, error) {
+	w, err := s.local.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &replicatedWriter{name: name, local: w, store: s}, nil
+}
+
+// Load reads the local journal.
+func (s *ReplicatedStore) Load(name string) ([]session.Event, error) { return s.local.Load(name) }
+
+// Names lists the local journals.
+func (s *ReplicatedStore) Names() ([]string, error) { return s.local.Names() }
+
+// Remove deletes the journal on both sides.
+func (s *ReplicatedStore) Remove(name string) error {
+	if err := s.replica.Remove(name); err != nil {
+		s.logf("fleet: replica remove %s: %v", name, err)
+	}
+	return s.local.Remove(name)
+}
+
+// replicatedWriter is one session's teeing journal handle.
+type replicatedWriter struct {
+	name  string
+	local session.JournalWriter
+	store *ReplicatedStore
+}
+
+// Append journals the event locally, then ships it to the replica and
+// only then returns — the ack path of the zero-acknowledged-loss
+// guarantee.  A replica failure degrades to local-only (counted and
+// logged), never to a refused event.
+func (w *replicatedWriter) Append(ev session.Event) error {
+	err := w.local.Append(ev)
+	rerr := w.store.replica.Append(w.name, []session.Event{ev})
+	if w.store.eng != nil {
+		w.store.eng.RecordReplication(rerr == nil)
+	}
+	if rerr != nil {
+		w.store.logf("fleet: replicate %s seq %d: %v (event is local-only)", w.name, ev.Seq, rerr)
+	}
+	return err
+}
+
+func (w *replicatedWriter) Sync() error  { return w.local.Sync() }
+func (w *replicatedWriter) Close() error { return w.local.Close() }

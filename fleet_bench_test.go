@@ -1,0 +1,179 @@
+package debruijnring
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"debruijnring/fleet"
+	"debruijnring/session"
+)
+
+// TestFleetShardProcess is the shard subprocess body for the fleet
+// benchmarks: each shard runs as its own OS process pinned to one core
+// (GOMAXPROCS=1), modeling one machine of a fleet, so the aggregate
+// throughput numbers measure horizontal scaling rather than goroutine
+// scheduling inside a single runtime.
+func TestFleetShardProcess(t *testing.T) {
+	if os.Getenv("FLEET_SHARD_HELPER") != "1" {
+		t.Skip("helper-process body; spawned by the fleet benchmarks")
+	}
+	shard, err := fleet.NewShard(fleet.ShardConfig{
+		JournalDir:  os.Getenv("FLEET_SHARD_JOURNAL"),
+		ReplicateTo: os.Getenv("FLEET_SHARD_REPLICATE_TO"),
+		Standby:     os.Getenv("FLEET_SHARD_STANDBY") == "1",
+	})
+	if err != nil {
+		fmt.Printf("SHARD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("SHARD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SHARD_ADDR=http://%s\n", ln.Addr())
+	http.Serve(ln, shard.Handler())
+}
+
+// startBenchShard launches one single-core shard process and returns
+// its base URL.
+func startBenchShard(b *testing.B, journal, replicateTo string, standby bool) string {
+	b.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestFleetShardProcess$")
+	cmd.Env = append(os.Environ(),
+		"GOMAXPROCS=1",
+		"FLEET_SHARD_HELPER=1",
+		"FLEET_SHARD_JOURNAL="+journal,
+		"FLEET_SHARD_REPLICATE_TO="+replicateTo,
+	)
+	if standby {
+		cmd.Env = append(cmd.Env, "FLEET_SHARD_STANDBY=1")
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if v, ok := strings.CutPrefix(sc.Text(), "SHARD_ADDR="); ok {
+				addr <- v
+				break
+			}
+			if v, ok := strings.CutPrefix(sc.Text(), "SHARD_ERR="); ok {
+				addr <- "ERR:" + v
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case v := <-addr:
+		if strings.HasPrefix(v, "ERR:") {
+			b.Fatalf("shard process failed: %s", v[4:])
+		}
+		return v
+	case <-time.After(30 * time.Second):
+		b.Fatal("shard process never announced its address")
+		return ""
+	}
+}
+
+// benchSessionRounds measures the fleet's session-stream throughput
+// against a base URL (a shard directly, or a router fronting several).
+// One op is one round: every session concurrently absorbs a fault and
+// heals it (2×sessions events/op), the steady-state traffic shape of a
+// fault-evolving fleet.  Comparing ns/op between the single-shard and
+// 3-shard benchmarks therefore reads directly as horizontal scaling.
+func benchSessionRounds(b *testing.B, base string, sessionsN int) {
+	ctx := context.Background()
+	c := &session.Client{Base: base}
+	names := make([]string, sessionsN)
+	labels := make([]string, sessionsN)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%02d", i)
+		st, err := c.Create(ctx, session.CreateRequest{Name: names[i], Topology: "debruijn(2,8)"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		labels[i] = st.Ring[1]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errc := make(chan error, sessionsN)
+		for j := range names {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := session.FaultsRequest{NodeFaults: []string{labels[j]}}
+				if _, err := c.AddFaults(ctx, names[j], req); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := c.RemoveFaults(ctx, names[j], req); err != nil {
+					errc <- err
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+	}
+}
+
+// BenchmarkShardSessionRound is the single-process baseline: 64
+// sessions streaming fault/heal rounds into one single-core shard.
+func BenchmarkShardSessionRound(b *testing.B) {
+	base := startBenchShard(b, b.TempDir(), "", false)
+	benchSessionRounds(b, base, 64)
+}
+
+// BenchmarkFleetSessionRound drives the same 64-session round through
+// the consistent-hash router into three single-core shards, each
+// synchronously replicating its journal to a single-core standby — the
+// full durability tax included.  Read it against ShardSessionRound:
+// with at least one core per shard process the ratio measures
+// horizontal scaling (the fleet bar is ≥2× the baseline's throughput,
+// i.e. ≤½ its ns/op); on a host with fewer cores than shards the
+// processes time-share and the ratio instead prices the fleet's
+// routing-plus-replication tax per round.
+func BenchmarkFleetSessionRound(b *testing.B) {
+	groups := make([]fleet.ShardGroup, 3)
+	for i := range groups {
+		replica := startBenchShard(b, b.TempDir(), "", true)
+		primary := startBenchShard(b, b.TempDir(), replica, false)
+		groups[i] = fleet.ShardGroup{Name: fmt.Sprintf("g%d", i), Primary: primary, Replica: replica}
+	}
+	rt, err := fleet.NewRouter(groups, fleet.RouterOptions{CheckInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+	benchSessionRounds(b, rts.URL, 64)
+}

@@ -4,50 +4,154 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 )
 
-// Client talks to the /v1/sessions API of a ringsrv instance — the
-// programmatic counterpart of the HTTP handler, used by the chaos CLI
-// and integration tests.
+// Client talks to the /v1/sessions API of a ringsrv instance or a
+// ringfleet router — the programmatic counterpart of the HTTP handler,
+// used by the chaos CLI and integration tests.
+//
+// Requests that fail on the transport (connection refused, reset) or
+// with a gateway status (502/503/504 — what the fleet router answers
+// while a shard is down or mid-promotion) are retried with jittered
+// exponential backoff, so a client riding through a shard restart or a
+// replica promotion sees latency, not errors.  Fault and heal batches
+// are safe to retry: re-applying a batch the server already absorbed is
+// a journaled noop.  Application-level errors (4xx, 422 rejections) are
+// never retried.
 type Client struct {
 	// Base is the server root, e.g. "http://localhost:8080".
 	Base string
 	// HTTP is the underlying client; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// MaxAttempts caps the total tries per request, retries included
+	// (default 5; 1 disables retrying).
+	MaxAttempts int
+	// RetryBase is the first backoff delay, doubled per retry with
+	// ±50% jitter (default 50ms).
+	RetryBase time.Duration
+	// RetryCap bounds one backoff delay (default 1s).
+	RetryCap time.Duration
 }
+
+// defaultHTTP backs clients that don't bring their own http.Client.
+// DefaultTransport keeps only 2 idle connections per host — a fleet
+// client running dozens of concurrent session streams against one
+// router would churn connections on every request — so the default
+// client carries a deep keep-alive pool instead.
+var defaultHTTP = &http.Client{Transport: func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 128
+	return t
+}()}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTP
 }
 
+func (c *Client) retryPolicy() (attempts int, base, maxDelay time.Duration) {
+	attempts, base, maxDelay = c.MaxAttempts, c.RetryBase, c.RetryCap
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	return attempts, base, maxDelay
+}
+
+// retryStatus reports the gateway statuses worth retrying: the fleet
+// router (and any fronting proxy) answers them while the owning shard
+// is unreachable or a replica promotion is in flight.
+func retryStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// do issues one request with retries; body is re-marshaled once and
+// replayed on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body, dst any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	attempts, base, maxDelay := c.retryPolicy()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, attempt, base, maxDelay); err != nil {
+				return lastErr
+			}
+		}
+		retryable, err := c.doOnce(ctx, method, path, buf, dst)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryable {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// sleepBackoff waits out one jittered exponential backoff step or the
+// context, whichever ends first.
+func sleepBackoff(ctx context.Context, attempt int, base, maxDelay time.Duration) error {
+	d := base << (attempt - 1)
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	// ±50% jitter decorrelates clients retrying into a recovering shard.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doOnce issues a single attempt.  retryable classifies the failure:
+// transport errors and gateway statuses are worth retrying, anything
+// the server actually decided (4xx/422) is not.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, dst any) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		// Transport-level failure: nothing reached the server, or the
+		// connection died — retry unless the context was cancelled.
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded), err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -56,19 +160,22 @@ func (c *Client) do(ctx context.Context, method, path string, body, dst any) err
 		}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			return retryStatus(resp.StatusCode), fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
 		}
 		// Rejected fault batches return 422 with a full FaultsResponse;
 		// decode it so callers see the journaled rejection event.
 		if dst != nil {
 			json.Unmarshal(data, dst)
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		return retryStatus(resp.StatusCode), fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if dst == nil || resp.StatusCode == http.StatusNoContent {
-		return nil
+		return false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(dst)
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return false, err
+	}
+	return false, nil
 }
 
 // Create starts a session on the server.

@@ -20,10 +20,10 @@ var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
 // ValidName reports whether name is usable as a session name.
 func ValidName(name string) bool { return nameRE.MatchString(name) }
 
-// journalWriter appends JSON-lines events to a session's journal.  Each
-// append is a single buffered write flushed before returning, so a
-// killed process loses at most the event being written — never a
-// previously acknowledged one.
+// journalWriter appends JSON-lines events to a session's journal file —
+// the JournalWriter of DirStore.  Each append is a single buffered write
+// flushed before returning, so a killed process loses at most the event
+// being written — never a previously acknowledged one.
 type journalWriter struct {
 	f  *os.File
 	bw *bufio.Writer
@@ -31,6 +31,10 @@ type journalWriter struct {
 
 func journalPath(dir, name string) string {
 	return filepath.Join(dir, name+journalExt)
+}
+
+func removeJournal(dir, name string) error {
+	return os.Remove(journalPath(dir, name))
 }
 
 // createJournal opens a fresh journal for a new session; an existing
@@ -59,23 +63,37 @@ func openJournal(dir, name string) (*journalWriter, error) {
 	return &journalWriter{f: f, bw: bufio.NewWriter(f)}, nil
 }
 
-func (w *journalWriter) append(ev Event) {
-	if w == nil {
-		return
-	}
+// Append encodes one event line and flushes it to the file.
+func (w *journalWriter) Append(ev Event) error {
 	enc := json.NewEncoder(w.bw)
 	enc.SetEscapeHTML(false)
-	if err := enc.Encode(ev); err == nil {
-		w.bw.Flush()
+	if err := enc.Encode(ev); err != nil {
+		return err
 	}
+	return w.bw.Flush()
 }
 
-func (w *journalWriter) close() {
-	if w == nil {
-		return
+// Sync forces the journal to stable storage.
+func (w *journalWriter) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
 	}
-	w.bw.Flush()
-	w.f.Close()
+	return w.f.Sync()
+}
+
+// Close flushes, syncs and releases the file handle, so a cleanly
+// closed journal survives host death, not just process death.
+func (w *journalWriter) Close() error {
+	ferr := w.bw.Flush()
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // readJournal loads every well-formed event of a journal file.  A

@@ -2,10 +2,7 @@ package session
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -17,8 +14,14 @@ import (
 // Options configures a Manager.  The zero value keeps sessions
 // in-memory only.
 type Options struct {
-	// Dir is the journal directory; "" disables persistence.
+	// Dir is the journal directory; "" disables persistence.  It is a
+	// convenience for Store == nil: NewManager wraps it in a DirStore.
 	Dir string
+	// Store overrides Dir with an explicit persistence backend — e.g.
+	// the fleet package's replicated store, which tees every journal
+	// append to a replica shard.  nil with Dir == "" keeps sessions
+	// in-memory only.
+	Store Store
 	// SnapshotEvery is the fault-event cadence of full-state snapshots
 	// in the journal (default 32).  Snapshots bound the replay work of a
 	// Restore; between them replay re-runs the deterministic repair
@@ -31,10 +34,12 @@ type Options struct {
 
 // Manager owns the live sessions of one process and their journals.
 type Manager struct {
-	eng  *engine.Engine // session-stats sink; may be nil
-	opts Options
+	eng   *engine.Engine // session-stats sink; may be nil
+	opts  Options
+	store Store // nil when persistence is off
 
 	mu       sync.Mutex
+	closed   bool
 	sessions map[string]*Session
 }
 
@@ -47,8 +52,16 @@ func NewManager(eng *engine.Engine, opts Options) *Manager {
 	if opts.EventBuffer <= 0 {
 		opts.EventBuffer = 256
 	}
-	return &Manager{eng: eng, opts: opts, sessions: make(map[string]*Session)}
+	store := opts.Store
+	if store == nil && opts.Dir != "" {
+		store = NewDirStore(opts.Dir)
+	}
+	return &Manager{eng: eng, opts: opts, store: store, sessions: make(map[string]*Session)}
 }
+
+// Store returns the manager's persistence backend (nil when sessions
+// are in-memory only).
+func (m *Manager) Store() Store { return m.store }
 
 // Create starts a session: resolve the topology, run the initial embed
 // around the (possibly empty) starting fault set, and open its journal.
@@ -66,6 +79,10 @@ func (m *Manager) Create(name, spec string, faults topology.FaultSet) (*Session,
 	}
 
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: manager: %w", ErrClosed)
+	}
 	if _, ok := m.sessions[name]; ok {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", errSessionExists, name)
@@ -101,14 +118,14 @@ func (m *Manager) create(name, spec string, net topology.RingEmbedder, faults to
 	s.ring = append([]int(nil), ring...)
 	s.rounds = info.Rounds
 
-	if m.opts.Dir != "" {
-		s.journal, err = createJournal(m.opts.Dir, name)
+	if m.store != nil {
+		s.journal, err = m.store.Create(name)
 		if err != nil {
 			return nil, err
 		}
 	}
 	now := time.Now().UTC()
-	s.journal.append(Event{
+	s.appendJournal(Event{
 		Seq: 0, Time: now, Kind: "created",
 		Name: name, Spec: spec, RepairVer: repairSemVer,
 		FaultNodes: faults.Nodes, FaultEdges: encodeEdges(faults.Edges),
@@ -130,7 +147,7 @@ func (m *Manager) create(name, spec string, net topology.RingEmbedder, faults to
 	embedEv.Time = now
 	s.stats.Events++
 	s.publishLocked(embedEv)
-	s.journal.append(embedEv)
+	s.appendJournal(embedEv)
 	s.mu.Unlock()
 	return s, nil
 }
@@ -163,6 +180,10 @@ func (m *Manager) List() []*Session {
 // Delete closes the named session and removes its journal.
 func (m *Manager) Delete(name string) error {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("session: manager: %w", ErrClosed)
+	}
 	s, ok := m.sessions[name]
 	if ok && s != nil {
 		// A nil entry is an in-progress Create's name reservation; leave
@@ -176,18 +197,20 @@ func (m *Manager) Delete(name string) error {
 	s.mu.Lock()
 	s.closeLocked(false)
 	s.mu.Unlock()
-	if m.opts.Dir != "" {
-		if err := os.Remove(journalPath(m.opts.Dir, name)); err != nil && !os.IsNotExist(err) {
-			return err
-		}
+	if m.store != nil {
+		return m.store.Remove(name)
 	}
 	return nil
 }
 
-// Close snapshots and closes every session (journals stay on disk for
-// the next Restore).
+// Close snapshots, flushes and syncs every session journal and marks
+// the manager closed: subsequent Create/Delete calls and mutations on
+// the closed sessions return an error wrapping ErrClosed instead of
+// racing the released journal writers.  Journals stay on disk for the
+// next Restore.
 func (m *Manager) Close() {
 	m.mu.Lock()
+	m.closed = true
 	sessions := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		if s != nil {
@@ -202,32 +225,30 @@ func (m *Manager) Close() {
 	}
 }
 
-// Restore loads every journal in the manager's directory, resuming each
+// Restore loads every journal in the manager's store, resuming each
 // session at its exact pre-crash state: jump to the latest snapshot
 // (ring + faults + patcher structure), then deterministically replay
 // the fault events after it, verifying each recorded ring hash.  It
 // returns the sessions restored; journals that fail to restore are
-// reported in errs by filename and left untouched on disk.
+// reported in errs by session name and left untouched in the store.
 func (m *Manager) Restore() (restored []*Session, errs []error) {
-	if m.opts.Dir == "" {
+	if m.store == nil {
 		return nil, nil
 	}
-	paths, err := filepath.Glob(filepath.Join(m.opts.Dir, "*"+journalExt))
+	names, err := m.store.Names()
 	if err != nil {
 		return nil, []error{err}
 	}
-	sort.Strings(paths)
-	for _, path := range paths {
-		name := strings.TrimSuffix(filepath.Base(path), journalExt)
+	for _, name := range names {
 		m.mu.Lock()
 		_, exists := m.sessions[name]
 		m.mu.Unlock()
 		if exists {
 			continue // already live (restored earlier or just created)
 		}
-		s, err := m.restoreOne(path, name)
+		s, err := m.restoreOne(name)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", filepath.Base(path), err))
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
 			continue
 		}
 		m.mu.Lock()
@@ -238,8 +259,8 @@ func (m *Manager) Restore() (restored []*Session, errs []error) {
 	return restored, errs
 }
 
-func (m *Manager) restoreOne(path, name string) (*Session, error) {
-	events, err := readJournal(path)
+func (m *Manager) restoreOne(name string) (*Session, error) {
+	events, err := m.store.Load(name)
 	if err != nil {
 		return nil, err
 	}
@@ -354,11 +375,9 @@ func (m *Manager) restoreOne(path, name string) (*Session, error) {
 		}
 	}
 
-	if m.opts.Dir != "" {
-		s.journal, err = openJournal(m.opts.Dir, name)
-		if err != nil {
-			return nil, err
-		}
+	s.journal, err = m.store.Open(name)
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

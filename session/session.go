@@ -139,7 +139,7 @@ type Session struct {
 	rounds    int // broadcast rounds of the last full embed
 	seq       uint64
 	stats     Stats
-	journal   *journalWriter // nil when persistence is off
+	journal   JournalWriter // nil when persistence is off
 	sinceSnap int
 	closed    bool
 
@@ -243,7 +243,7 @@ func (s *Session) AddFaults(add topology.FaultSet) (*Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("session %q is closed", s.name)
+		return nil, fmt.Errorf("session %q: %w", s.name, ErrClosed)
 	}
 	if err := add.Validate(s.net); err != nil {
 		return nil, err
@@ -266,7 +266,7 @@ func (s *Session) RemoveFaults(remove topology.FaultSet) (*Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("session %q is closed", s.name)
+		return nil, fmt.Errorf("session %q: %w", s.name, ErrClosed)
 	}
 	if err := remove.Validate(s.net); err != nil {
 		return nil, err
@@ -486,12 +486,21 @@ func (s *Session) finishEventLocked(ev *Event, start time.Time, record bool, kin
 	s.sinceSnap++
 	s.publishLocked(*ev)
 	if record {
-		if s.journal != nil {
-			s.journal.append(*ev)
-		}
+		s.appendJournal(*ev)
 		if s.mgr != nil && s.mgr.eng != nil {
 			s.mgr.eng.RecordRepair(kind)
 		}
+	}
+}
+
+// appendJournal writes one event through the store's journal writer.
+// Append errors do not fail the event — the in-memory state machine is
+// authoritative for a live session and degrading to memory-only beats
+// rejecting traffic — but they would surface on the next Restore, and
+// the fleet's replicated store counts them in the engine stats.
+func (s *Session) appendJournal(ev Event) {
+	if s.journal != nil {
+		s.journal.Append(ev)
 	}
 }
 
@@ -557,7 +566,7 @@ func (s *Session) writeSnapshotLocked() {
 		state = nil
 	}
 	stats := s.stats
-	s.journal.append(Event{
+	s.appendJournal(Event{
 		Seq:        s.seq,
 		Time:       time.Now().UTC(),
 		Kind:       "snapshot",
@@ -582,7 +591,7 @@ func (s *Session) closeLocked(snapshot bool) {
 		s.writeSnapshotLocked()
 	}
 	if s.journal != nil {
-		s.journal.close()
+		s.journal.Close()
 		s.journal = nil
 	}
 	s.closed = true
@@ -652,3 +661,9 @@ func decodeEdges(pairs [][2]int) []topology.Edge {
 
 // errSessionExists reports a Create against a name already in use.
 var errSessionExists = errors.New("session: name already in use")
+
+// ErrClosed is the sentinel wrapped by every mutation attempted after a
+// session or its manager has been closed (shutdown or deletion): the
+// journal writer is released at close, so post-Close traffic is refused
+// instead of racing it.  Check with errors.Is(err, session.ErrClosed).
+var ErrClosed = errors.New("session: closed")

@@ -1,0 +1,98 @@
+package session
+
+import (
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store abstracts where a Manager persists session journals, separating
+// the session state machine from process-local storage.  The default
+// implementation is DirStore (one JSONL file per session under a local
+// directory); the fleet package wraps a Store to tee every append to a
+// replica shard over HTTP, which is what makes shard failover restore
+// sessions hot.
+//
+// A Store must tolerate concurrent use from different sessions; appends
+// within one session are serialized by the session's own lock.  Open and
+// Load report a missing journal with an error satisfying
+// errors.Is(err, fs.ErrNotExist).
+type Store interface {
+	// Create opens a fresh journal for a new session; an existing
+	// journal under the same name is an error (a crashed predecessor
+	// that Restore would have loaded).
+	Create(name string) (JournalWriter, error)
+	// Open reopens an existing journal for appending (after Restore).
+	Open(name string) (JournalWriter, error)
+	// Load reads every well-formed event of the named journal, in order.
+	Load(name string) ([]Event, error)
+	// Names lists the sessions with a journal, sorted.
+	Names() ([]string, error)
+	// Remove deletes the named journal; removing a journal that does not
+	// exist is not an error.
+	Remove(name string) error
+}
+
+// JournalWriter is one session's append handle into a Store.  Append
+// must make the event durable against process death before returning
+// (acknowledged events are the replay contract); Sync additionally
+// forces it to stable storage.  Close flushes, syncs and releases the
+// handle.
+type JournalWriter interface {
+	Append(ev Event) error
+	Sync() error
+	Close() error
+}
+
+// DirStore is the process-local Store: one JSONL journal file per
+// session in a directory, created on demand.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore returns a Store journaling into dir (created lazily on
+// the first Create).
+func NewDirStore(dir string) *DirStore { return &DirStore{dir: dir} }
+
+// Dir returns the journal directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// Create opens a fresh journal file for the named session.
+func (s *DirStore) Create(name string) (JournalWriter, error) {
+	return createJournal(s.dir, name)
+}
+
+// Open reopens an existing journal file for appending.
+func (s *DirStore) Open(name string) (JournalWriter, error) {
+	return openJournal(s.dir, name)
+}
+
+// Load reads the named journal; a torn trailing line is tolerated.
+func (s *DirStore) Load(name string) ([]Event, error) {
+	return readJournal(journalPath(s.dir, name))
+}
+
+// Names lists the sessions with a journal file, sorted.
+func (s *DirStore) Names() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*"+journalExt))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(paths))
+	for _, p := range paths {
+		names = append(names, strings.TrimSuffix(filepath.Base(p), journalExt))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes the named journal file if it exists.
+func (s *DirStore) Remove(name string) error {
+	err := removeJournal(s.dir, name)
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
