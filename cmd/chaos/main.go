@@ -20,6 +20,8 @@
 //	      -splice-rate 0.05 -check -min-splice 1
 //	chaos -topology 'debruijn(4,6)' -events 32 -record trace.json   # generate only
 //	chaos -server http://localhost:8000 -topology 'debruijn(2,10)' -sessions 120 -events 20 -heal-rate 0.3
+//	chaos -server http://localhost:8000 -topology 'debruijn(2,8)' -sessions 32 -soak 45s \
+//	      -heal-rate 0.3 -rebalance g-new=http://localhost:8084
 //
 // Flags:
 //
@@ -38,6 +40,11 @@
 //	             <session>-<i>, seeds <seed>+i, per-event output suppressed,
 //	             one aggregated report; point -server at a ringfleet router
 //	             and the sessions spread across the shards)
+//	-rebalance   fleet soak only: add this shard group ("name=primaryURL[=replicaURL]")
+//	             to the router at the soak midpoint via POST /v1/fleet/shards, so the
+//	             run exercises the drain/hand-off/flip choreography under live load;
+//	             the run fails if the add does, and reports drain-induced retries
+//	             separately from failover retries
 //	-replay      JSON trace file to replay instead of generating
 //	-record      write the generated trace to this file
 //	-interval    pause between events (e.g. 100ms), simulating fault arrival
@@ -60,13 +67,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -101,6 +112,7 @@ func main() {
 	maxLive := flag.Int("max-live", 0, "cap on live injected faults (0 = topology heuristic)")
 	name := flag.String("session", "", "session name (default chaos-<seed>)")
 	sessionsN := flag.Int("sessions", 1, "concurrent sessions to drive (fleet load mode; names <session>-<i>, seeds <seed>+i)")
+	rebalance := flag.String("rebalance", "", "fleet soak only: add this shard group (name=primaryURL[=replicaURL]) to the router mid-soak via POST /v1/fleet/shards")
 	replay := flag.String("replay", "", "JSON trace file to replay")
 	record := flag.String("record", "", "write the generated trace to this file")
 	interval := flag.Duration("interval", 0, "pause between fault events")
@@ -112,6 +124,10 @@ func main() {
 
 	if *soak > 0 && *replay != "" {
 		fmt.Fprintln(os.Stderr, "chaos: -soak and -replay are mutually exclusive")
+		os.Exit(1)
+	}
+	if *rebalance != "" && (*sessionsN <= 1 || *soak == 0) {
+		fmt.Fprintln(os.Stderr, "chaos: -rebalance needs a fleet soak run (-sessions > 1 and -soak)")
 		os.Exit(1)
 	}
 	if *sessionsN > 1 {
@@ -129,6 +145,7 @@ func main() {
 			edgeProb: *edgeProb, healRate: *healRate, spliceRate: *spliceRate,
 			maxLive: *maxLive, interval: *interval, soak: *soak,
 			check: *check, keep: *keep, minSplice: *minSplice,
+			rebalance: *rebalance,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)
@@ -204,6 +221,10 @@ type fleetConfig struct {
 	interval, soak                 time.Duration
 	check, keep                    bool
 	minSplice                      int
+	// rebalance, when set ("name=primaryURL[=replicaURL]"), adds that
+	// shard group to the router at the soak midpoint, so the run
+	// exercises the drain/hand-off/flip choreography under live load.
+	rebalance string
 }
 
 // runFleet drives N concurrent sessions — each with its own derived
@@ -234,6 +255,20 @@ func runFleet(cfg fleetConfig) error {
 			keep:     cfg.keep,
 			check:    cfg.check,
 			quiet:    true,
+			// Per-session clients so drain-induced retries (rebalance
+			// choreography) are countable apart from failover retries.
+			client: &session.Client{Base: cfg.server},
+		}
+		if cfg.rebalance != "" {
+			// The retry budget must outlast the drain window of the
+			// mid-soak shard add: the drain covers the whole moved
+			// keyspace while sessions hand off one at a time, so a
+			// session drained first and moved last waits for the full
+			// add (seconds, under race-built shards).  This budget
+			// sums to ~8s of backoff.
+			r.client.MaxAttempts = 20
+			r.client.RetryBase = 25 * time.Millisecond
+			r.client.RetryCap = 500 * time.Millisecond
 		}
 		if cfg.soak > 0 {
 			r.gen = gen
@@ -245,6 +280,17 @@ func runFleet(cfg fleetConfig) error {
 	fmt.Printf("fleet run: %d sessions against %s (%s, seeds %d..%d)\n",
 		cfg.sessions, cfg.server, cfg.spec, cfg.seed, cfg.seed+int64(cfg.sessions-1))
 	start := time.Now()
+
+	// Mid-soak membership change: add the shard group at the halfway
+	// mark, while every session keeps streaming.
+	rebalanced := make(chan error, 1)
+	if cfg.rebalance != "" {
+		go func() {
+			time.Sleep(cfg.soak / 2)
+			rebalanced <- addShardGroup(cfg.server, cfg.rebalance)
+		}()
+	}
+
 	errs := make([]error, len(runners))
 	var wg sync.WaitGroup
 	for i, r := range runners {
@@ -259,8 +305,11 @@ func runFleet(cfg fleetConfig) error {
 
 	agg := &runner{}
 	failed := 0
+	var retries, drains int64
 	for i, r := range runners {
 		agg.samples = append(agg.samples, r.samples...)
+		retries += r.client.Retries.Load()
+		drains += r.client.DrainRetries.Load()
 		if errs[i] != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "chaos: session %s: %v\n", r.name, errs[i])
@@ -269,12 +318,47 @@ func runFleet(cfg fleetConfig) error {
 	fmt.Printf("%d events across %d sessions in %s (%.0f events/s)\n",
 		len(agg.samples), cfg.sessions, elapsed.Round(time.Millisecond),
 		float64(len(agg.samples))/elapsed.Seconds())
+	fmt.Printf("client retries: %d failover/transient, %d drain-induced (rebalance choreography)\n",
+		retries, drains)
 	spliced := agg.report()
 	if failed > 0 {
 		return fmt.Errorf("%d of %d sessions failed", failed, cfg.sessions)
 	}
+	if cfg.rebalance != "" {
+		if err := <-rebalanced; err != nil {
+			return fmt.Errorf("mid-soak rebalance: %w", err)
+		}
+		fmt.Printf("mid-soak shard add succeeded: %s\n", cfg.rebalance)
+	}
 	if spliced < cfg.minSplice {
 		return fmt.Errorf("splice tier resolved %d events, want ≥ %d (-min-splice)", spliced, cfg.minSplice)
+	}
+	return nil
+}
+
+// addShardGroup POSTs a "name=primaryURL[=replicaURL]" group spec to
+// the router's live-membership endpoint.
+func addShardGroup(server, spec string) error {
+	parts := strings.SplitN(spec, "=", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("bad -rebalance spec %q (want name=primaryURL[=replicaURL])", spec)
+	}
+	group := map[string]string{"name": parts[0], "primary": parts[1]}
+	if len(parts) == 3 {
+		group["replica"] = parts[2]
+	}
+	body, err := json.Marshal(group)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(server+"/v1/fleet/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("POST /v1/fleet/shards: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	return nil
 }
@@ -457,6 +541,10 @@ type runner struct {
 	// aggregate instead).
 	quiet bool
 
+	// client, when set, is used instead of a default one — fleet runs
+	// inject per-session clients so retry counters survive the run.
+	client *session.Client
+
 	events []TraceEvent // fixed trace; nil in soak mode
 	gen    *generator   // soak mode source
 
@@ -485,7 +573,10 @@ func (r *runner) run() error {
 // samples without reporting (the caller aggregates).
 func (r *runner) drive() error {
 	ctx := context.Background()
-	c := &session.Client{Base: r.server}
+	c := r.client
+	if c == nil {
+		c = &session.Client{Base: r.server}
+	}
 	st, err := c.Create(ctx, session.CreateRequest{Name: r.name, Topology: r.topology})
 	if err != nil {
 		return err

@@ -11,17 +11,42 @@
 //	ringfleet -addr :8000 \
 //	    -shard http://10.0.0.1:8080=http://10.0.0.2:8080 \
 //	    -shard http://10.0.0.3:8080=http://10.0.0.4:8080 \
-//	    -shard http://10.0.0.5:8080=http://10.0.0.6:8080
+//	    -shard http://10.0.0.5:8080=http://10.0.0.6:8080 \
+//	    -spare http://10.0.0.7:8080
 //
 // Each -shard is primary[=replica]; the primary should run ringsrv
 // with -journal and -replicate-to pointing at the replica, the replica
 // with -journal and -standby.  Omitting =replica leaves the group
 // unreplicated (a dead primary then just stays down).
 //
+// Each -spare (repeatable) is a standby ringsrv (-journal -standby)
+// the router draws from after a promotion: the promoted shard is
+// re-targeted at the spare and streams its journals over, returning
+// the group to full strength — so the fleet survives a second failure,
+// not just the first.
+//
 // The router itself serves:
 //
-//	GET /healthz   router liveness
-//	GET /v1/fleet  per-group status: active URL, promotion, request counts
+//	GET  /healthz      router liveness
+//	GET  /v1/fleet     per-group status: active URL, promotion, requests,
+//	                   replica_state/replica_lag from each shard
+//	POST /v1/fleet/shards  add a shard group at runtime: the moved
+//	                   keyspace is drained, journals are handed off to
+//	                   the new owner and hash-verified, then routing
+//	                   flips — no restart, no stranded journals
+//
+// Two ringfleet processes can front the same fleet for router HA: give
+// both the same -shard/-spare set and put them behind a VIP or
+// round-robin DNS.  They need no coordination channel — each converges
+// on shard failures through its own health checks, and the shards'
+// epoch gates (wall-clock-ordered, per-shard monotonic) make the
+// routers' control operations last-writer-wins instead of dueling:
+// promotion is idempotent, and a stale router's re-target bounces with
+// the winning epoch and target, which it adopts.  Runtime shard adds
+// (POST /v1/fleet/shards) should be posted to every router — each
+// performs its own drain/hand-off/verify, and the hand-off stream is
+// idempotent (a full journal re-stream replaces the copy), so the
+// second router's pass is a cheap no-op re-verification.
 package main
 
 import (
@@ -54,6 +79,19 @@ func (s *shardFlags) Set(v string) error {
 	return nil
 }
 
+// stringFlags collects repeated string arguments (-spare).
+type stringFlags []string
+
+func (s *stringFlags) String() string { return fmt.Sprint(*s) }
+
+func (s *stringFlags) Set(v string) error {
+	if v == "" {
+		return errors.New("empty URL")
+	}
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8000", "listen address")
 	vnodes := flag.Int("vnodes", fleet.DefaultVnodes, "virtual nodes per shard on the hash ring")
@@ -61,6 +99,8 @@ func main() {
 	failAfter := flag.Int("fail-after", 3, "consecutive failed checks before promoting the replica")
 	var shards shardFlags
 	flag.Var(&shards, "shard", "shard group as primary[=replica] URL pair (repeatable)")
+	var spares stringFlags
+	flag.Var(&spares, "spare", "standby shard URL for post-promotion re-replication (repeatable)")
 	flag.Parse()
 
 	if len(shards) == 0 {
@@ -71,6 +111,7 @@ func main() {
 		Vnodes:        *vnodes,
 		CheckInterval: *checkEvery,
 		FailAfter:     *failAfter,
+		Spares:        spares,
 		Logf:          log.Printf,
 	})
 	if err != nil {

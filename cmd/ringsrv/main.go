@@ -20,8 +20,14 @@
 //
 //	POST   /v1/replica/append          ingest a peer's journal events
 //	DELETE /v1/replica/sessions/{name} drop a replicated journal
-//	POST   /v1/replica/promote         restore replicated journals hot
+//	POST   /v1/replica/promote         restore replicated journals hot (epoch-guarded)
 //	GET    /v1/replica/status          replication status
+//
+//	GET  /v1/replication               outbound replication state, target, lag
+//	POST /v1/replication/target        re-target replication and bootstrap the new standby
+//	POST /v1/replication/handoff       stream one session's journal to another shard
+//	POST /v1/replication/adopt         restore a streamed-in journal hot
+//	POST /v1/replication/forget        drop a handed-off journal
 //
 // Usage:
 //
@@ -37,7 +43,13 @@
 // the event is acknowledged, so losing this process loses no
 // acknowledged event.  With -standby the startup restore is skipped —
 // the process holds replicated journals cold until a router (see
-// cmd/ringfleet) promotes it.
+// cmd/ringfleet) promotes it.  An unreachable replica degrades the
+// shard to catch-up replication (journals are re-streamed with backoff
+// until the standby converges), and the router can re-target
+// replication at a fresh standby at runtime.  If the peer turns out to
+// be promoted — this process is a stale ex-primary — the shard fences
+// itself (503 on /v1/sessions) and demotes to a clean standby instead
+// of serving stale sessions.
 package main
 
 import (
@@ -85,7 +97,7 @@ func main() {
 	defer shard.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(shard.Engine, shard.Sessions, shard.Replica.Handler()),
+		Handler:           newServer(shard.Engine, nil, shard.Handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

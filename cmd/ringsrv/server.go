@@ -20,7 +20,12 @@ type server struct {
 	mux *http.ServeMux
 }
 
-func newServer(eng *engine.Engine, sessions *session.Manager, replica http.Handler) *server {
+// newServer mounts the one-shot embedding endpoints next to the
+// session/fleet surface.  shardH — a fleet Shard's handler — takes
+// precedence for the session, replica and replication routes, carrying
+// the shard's split-brain fence and control plane; a bare sessions
+// manager (tests) mounts the session API directly.
+func newServer(eng *engine.Engine, sessions *session.Manager, shardH http.Handler) *server {
 	s := &server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/embed", s.handleEmbed)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -30,13 +35,15 @@ func newServer(eng *engine.Engine, sessions *session.Manager, replica http.Handl
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	if sessions != nil {
+	switch {
+	case shardH != nil:
+		for _, p := range []string{"/v1/sessions", "/v1/sessions/", "/v1/replica/", "/v1/replication", "/v1/replication/"} {
+			s.mux.Handle(p, shardH)
+		}
+	case sessions != nil:
 		h := session.Handler(sessions)
 		s.mux.Handle("/v1/sessions", h)
 		s.mux.Handle("/v1/sessions/", h)
-	}
-	if replica != nil {
-		s.mux.Handle("/v1/replica/", replica)
 	}
 	return s
 }

@@ -113,6 +113,19 @@
 // -sessions drives many concurrent session streams through the router
 // to exercise exactly that path.
 //
+// The fleet also heals and grows without restarts: after a promotion
+// the router draws a standby from its -spare pool and re-replicates
+// the promoted shard onto it (so a second failure is survivable), a
+// returning stale primary is fenced by per-shard epoch gates and
+// demotes itself to a clean standby, and POST /v1/fleet/shards adds a
+// shard group at runtime — the moved keyspace is drained (clients see
+// retryable 503s), each moved session's journal is handed off and
+// hash-verified on the new owner, then routing flips.  Two routers
+// with the same configuration can front one fleet behind a VIP for
+// router HA; the epoch gates make their uncoordinated control
+// operations last-writer-wins.  chaos -rebalance exercises the
+// membership change under live load.
+//
 // # Performance
 //
 // The embedding, verification and Monte-Carlo simulation hot paths run

@@ -24,6 +24,32 @@
 //     replica and re-targets the group, restoring service without
 //     losing a single acknowledged event.
 //
+// Failover is not the end of the story; the fleet heals back to full
+// strength and changes shape while serving:
+//
+//   - Re-replication: after a promotion the router draws a standby
+//     from its spare pool (RouterOptions.Spares), re-targets the
+//     promoted shard at it (SetTarget), and bootstraps it with a full
+//     journal stream per session, so the group survives a second
+//     failure.  Catch-up replication retries with jittered backoff;
+//     GET /v1/fleet exposes replica_state and replica_lag.
+//
+//   - Fencing: every control operation (promote, re-target) carries an
+//     epoch, gated per shard by a strictly-increasing EpochGate.  A
+//     stale primary that resurfaces fails its next replicated append
+//     closed — 503 to the client, never a silent local-only ack — and
+//     demotes itself to a clean standby.  The gate also lets two
+//     uncoordinated routers front the same fleet (router HA): their
+//     control ops become last-writer-wins, and a 409 rejection carries
+//     the winning epoch and target for the loser to adopt.
+//
+//   - Live membership: Router.AddShard (POST /v1/fleet/shards) drains
+//     the keyspace the new shard steals (requests get retryable 503s
+//     with an X-Fleet-Draining marker), hands each moved session's
+//     journal off to the new owner, hash-verifies the replayed state
+//     against the source, then flips routing and deletes the source
+//     copies.  Sessions that stay put never see a retry.
+//
 // The paper's thesis — lose a processor, keep the ring — applied one
 // level up: lose a shard, keep every session.
 package fleet

@@ -25,6 +25,12 @@ type Replica struct {
 	mgr   *session.Manager // promotion target; its Restore goes hot
 	logf  func(string, ...any)
 
+	// Gate (optional) epoch-guards promotion so two routers racing the
+	// same failover converge on one winner; nil leaves promotion
+	// unguarded.  The shard shares one gate across all its control
+	// endpoints.
+	Gate *EpochGate
+
 	mu       sync.Mutex
 	writers  map[string]session.JournalWriter
 	promoted bool
@@ -49,6 +55,12 @@ type appendRequest struct {
 
 type appendResponse struct {
 	Appended int `json:"appended"`
+}
+
+// promoteRequest carries the (optional) epoch of the router issuing the
+// promotion; zero/absent is unguarded.
+type promoteRequest struct {
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // promoteResponse reports a promotion: sessions restored hot and the
@@ -194,14 +206,27 @@ func (rp *Replica) handleRemove(w http.ResponseWriter, r *http.Request) {
 // handlePromote flips the replica hot: ingest stops, every replicated
 // journal is restored through the manager's hash-verified replay, and
 // the process serves /v1/sessions for the victim's keyspace from here
-// on.  Promoting twice is a cheap no-op, so a router retrying a
-// promotion is safe.
+// on.  Promoting twice is a cheap no-op — checked before the epoch
+// guard, so two routers racing the same failover both converge on the
+// one promotion instead of the loser seeing a rejection.
 func (rp *Replica) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req promoteRequest
+	if r.Body != nil {
+		// The body is optional (legacy and manual promotions send none).
+		json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req)
+	}
 	rp.mu.Lock()
 	if rp.promoted {
 		rp.mu.Unlock()
 		writeReplicaJSON(w, promoteResponse{Already: true})
 		return
+	}
+	if rp.Gate != nil {
+		if current, ok := rp.Gate.Admit(req.Epoch); !ok {
+			rp.mu.Unlock()
+			replicaReject(w, current, "", fmt.Errorf("replica: stale promotion epoch %d (current %d)", req.Epoch, current))
+			return
+		}
 	}
 	rp.promoted = true
 	for name, jw := range rp.writers {
@@ -275,13 +300,34 @@ func (c *ReplicaClient) httpClient() *http.Client {
 	return replicaHTTP
 }
 
+// ErrPeerPromoted reports that the peer refused a replication write
+// because it has been promoted: the caller is a stale ex-primary whose
+// journals are superseded, and must fence itself (see
+// ReplicatedStore).
+var ErrPeerPromoted = errors.New("fleet: peer replica is promoted")
+
+// PeerError is a decoded HTTP error from a peer's control endpoints.
+// Epoch-guarded rejections carry the winning epoch (and, for
+// replication re-targeting, the winning target) so a stale router can
+// adopt the winner's state instead of retrying blindly.
+type PeerError struct {
+	Status int
+	Msg    string
+	Epoch  uint64
+	Target string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("%s (HTTP %d)", e.Msg, e.Status)
+}
+
 // Append ships one batch of journal events for the named session.
 func (c *ReplicaClient) Append(name string, events []session.Event) error {
 	body, err := json.Marshal(appendRequest{Name: name, Events: events})
 	if err != nil {
 		return err
 	}
-	return c.post("/v1/replica/append", body, nil)
+	return markPromoted(c.post("/v1/replica/append", body, nil))
 }
 
 // Remove drops the named session's replicated journal.
@@ -290,13 +336,44 @@ func (c *ReplicaClient) Remove(name string) error {
 	if err != nil {
 		return err
 	}
-	return c.roundTrip(req, nil)
+	return markPromoted(c.roundTrip(req, nil))
 }
 
-// Promote flips the replica hot, returning the restore report.
-func (c *ReplicaClient) Promote() (*promoteResponse, error) {
+// markPromoted wraps a 409 from the replication write path in
+// ErrPeerPromoted (the only way those endpoints answer Conflict).
+func markPromoted(err error) error {
+	var pe *PeerError
+	if errors.As(err, &pe) && pe.Status == http.StatusConflict {
+		return fmt.Errorf("%w: %s", ErrPeerPromoted, pe.Msg)
+	}
+	return err
+}
+
+// Status fetches the peer's replica status — a restarting ex-primary
+// asks this before restoring, so a promotion that happened while it was
+// dead fences it immediately instead of on its first stale append.
+func (c *ReplicaClient) Status() (*statusResponse, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/replica/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st statusResponse
+	if err := c.roundTrip(req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Promote flips the replica hot, returning the restore report.  epoch
+// guards against dueling routers (0 is unguarded); a stale epoch is
+// rejected with a *PeerError carrying the winning epoch.
+func (c *ReplicaClient) Promote(epoch uint64) (*promoteResponse, error) {
+	body, err := json.Marshal(promoteRequest{Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
 	var resp promoteResponse
-	if err := c.post("/v1/replica/promote", nil, &resp); err != nil {
+	if err := c.post("/v1/replica/promote", body, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -325,13 +402,20 @@ func (c *ReplicaClient) roundTrip(req *http.Request, dst any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		var e struct {
-			Error string `json:"error"`
+			Error  string `json:"error"`
+			Epoch  uint64 `json:"epoch,omitempty"`
+			Target string `json:"target,omitempty"`
 		}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("replica %s: %s (HTTP %d)", req.URL.Path, e.Error, resp.StatusCode)
+			return &PeerError{
+				Status: resp.StatusCode,
+				Msg:    fmt.Sprintf("replica %s: %s", req.URL.Path, e.Error),
+				Epoch:  e.Epoch,
+				Target: e.Target,
+			}
 		}
-		return fmt.Errorf("replica %s: HTTP %d", req.URL.Path, resp.StatusCode)
+		return &PeerError{Status: resp.StatusCode, Msg: fmt.Sprintf("replica %s: HTTP %d", req.URL.Path, resp.StatusCode)}
 	}
 	if dst == nil {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
@@ -349,4 +433,17 @@ func replicaError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// replicaReject answers an epoch-guarded rejection: 409 plus the
+// winning epoch (and target, when relevant) so the stale caller can
+// adopt the winner's state.
+func replicaReject(w http.ResponseWriter, epoch uint64, target string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":  err.Error(),
+		"epoch":  epoch,
+		"target": target,
+	})
 }

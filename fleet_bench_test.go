@@ -99,17 +99,13 @@ func startBenchShard(b *testing.B, journal, replicateTo string, standby bool) st
 	}
 }
 
-// benchSessionRounds measures the fleet's session-stream throughput
-// against a base URL (a shard directly, or a router fronting several).
-// One op is one round: every session concurrently absorbs a fault and
-// heals it (2×sessions events/op), the steady-state traffic shape of a
-// fault-evolving fleet.  Comparing ns/op between the single-shard and
-// 3-shard benchmarks therefore reads directly as horizontal scaling.
-func benchSessionRounds(b *testing.B, base string, sessionsN int) {
+// setupBenchSessions creates the benchmark's session population and
+// returns its names and per-session fault labels.
+func setupBenchSessions(b *testing.B, c *session.Client, sessionsN int) (names, labels []string) {
+	b.Helper()
 	ctx := context.Background()
-	c := &session.Client{Base: base}
-	names := make([]string, sessionsN)
-	labels := make([]string, sessionsN)
+	names = make([]string, sessionsN)
+	labels = make([]string, sessionsN)
 	for i := range names {
 		names[i] = fmt.Sprintf("bench-%02d", i)
 		st, err := c.Create(ctx, session.CreateRequest{Name: names[i], Topology: "debruijn(2,8)"})
@@ -118,30 +114,50 @@ func benchSessionRounds(b *testing.B, base string, sessionsN int) {
 		}
 		labels[i] = st.Ring[1]
 	}
+	return names, labels
+}
+
+// sessionRound runs one traffic round: every session concurrently
+// absorbs a fault and heals it (2×sessions events per round).
+func sessionRound(b *testing.B, c *session.Client, names, labels []string) {
+	b.Helper()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, len(names))
+	for j := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := session.FaultsRequest{NodeFaults: []string{labels[j]}}
+			if _, err := c.AddFaults(ctx, names[j], req); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := c.RemoveFaults(ctx, names[j], req); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+}
+
+// benchSessionRounds measures the fleet's session-stream throughput
+// against a base URL (a shard directly, or a router fronting several).
+// One op is one round (2×sessions events/op), the steady-state traffic
+// shape of a fault-evolving fleet.  Comparing ns/op between the
+// single-shard and 3-shard benchmarks therefore reads directly as
+// horizontal scaling.
+func benchSessionRounds(b *testing.B, base string, sessionsN int) {
+	c := &session.Client{Base: base}
+	names, labels := setupBenchSessions(b, c, sessionsN)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var wg sync.WaitGroup
-		errc := make(chan error, sessionsN)
-		for j := range names {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				req := session.FaultsRequest{NodeFaults: []string{labels[j]}}
-				if _, err := c.AddFaults(ctx, names[j], req); err != nil {
-					errc <- err
-					return
-				}
-				if _, err := c.RemoveFaults(ctx, names[j], req); err != nil {
-					errc <- err
-				}
-			}()
-		}
-		wg.Wait()
-		select {
-		case err := <-errc:
-			b.Fatal(err)
-		default:
-		}
+		sessionRound(b, c, names, labels)
 	}
 }
 
@@ -176,4 +192,50 @@ func BenchmarkFleetSessionRound(b *testing.B) {
 	rts := httptest.NewServer(rt)
 	defer rts.Close()
 	benchSessionRounds(b, rts.URL, 64)
+}
+
+// BenchmarkFleetRebalance prices the fleet's live-membership path: the
+// same 64-session rounds through the router into two shards, with a
+// third shard joining mid-measurement.  The rounds overlapping the
+// drain/hand-off/verify window ride the 503-retry choreography, so
+// ns/op reads as events-throughput during a rebalance (against
+// FleetSessionRound as the undisturbed baseline); drainretries/op
+// reports how much of the traffic the drain actually touched.
+func BenchmarkFleetRebalance(b *testing.B) {
+	groups := make([]fleet.ShardGroup, 2)
+	for i := range groups {
+		groups[i] = fleet.ShardGroup{
+			Name:    fmt.Sprintf("g%d", i),
+			Primary: startBenchShard(b, b.TempDir(), "", false),
+		}
+	}
+	rt, err := fleet.NewRouter(groups, fleet.RouterOptions{CheckInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+	joining := startBenchShard(b, b.TempDir(), "", false)
+
+	// The retry budget must outlast the drain window, or rounds
+	// overlapping the hand-off fail instead of riding it.
+	c := &session.Client{Base: rts.URL, MaxAttempts: 20, RetryBase: 10 * time.Millisecond, RetryCap: 100 * time.Millisecond}
+	names, labels := setupBenchSessions(b, c, 64)
+
+	added := make(chan error, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			go func() {
+				added <- rt.AddShard(fleet.ShardGroup{Name: "g-join", Primary: joining})
+			}()
+		}
+		sessionRound(b, c, names, labels)
+	}
+	b.StopTimer()
+	if err := <-added; err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(c.DrainRetries.Load())/float64(b.N), "drainretries/op")
 }

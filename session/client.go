@@ -11,8 +11,15 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
+
+// ErrDraining marks a 503 carrying the fleet's draining marker: the
+// session is mid-handoff in a rebalance, and the retry that follows is
+// expected choreography, not a failure.  Callers (the chaos driver)
+// count these separately via the client's DrainRetries counter.
+var ErrDraining = errors.New("session: draining (fleet rebalance in progress)")
 
 // Client talks to the /v1/sessions API of a ringsrv instance or a
 // ringfleet router — the programmatic counterpart of the HTTP handler,
@@ -39,6 +46,14 @@ type Client struct {
 	RetryBase time.Duration
 	// RetryCap bounds one backoff delay (default 1s).
 	RetryCap time.Duration
+
+	// Retries counts retried attempts (transport errors and gateway
+	// statuses); DrainRetries counts the subset caused by a fleet
+	// rebalance draining the session (ErrDraining), which is expected
+	// choreography rather than a fault.  Both are cumulative over the
+	// client's lifetime.
+	Retries      atomic.Int64
+	DrainRetries atomic.Int64
 }
 
 // defaultHTTP backs clients that don't bring their own http.Client.
@@ -108,6 +123,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, dst any) err
 		if ctx.Err() != nil || !retryable {
 			return err
 		}
+		if errors.Is(err, ErrDraining) {
+			c.DrainRetries.Add(1)
+		} else {
+			c.Retries.Add(1)
+		}
 		lastErr = err
 	}
 	return lastErr
@@ -155,25 +175,41 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, d
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		// A fleet rebalance drains moved sessions with 503 plus this
+		// marker; surface the typed error so callers can tell drain
+		// choreography from real failures.
+		draining := resp.Header.Get("X-Fleet-Draining") != ""
 		var e struct {
 			Error string `json:"error"`
 		}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return retryStatus(resp.StatusCode), fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			err := fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			if draining {
+				err = fmt.Errorf("%w: %v", ErrDraining, err)
+			}
+			return retryStatus(resp.StatusCode), err
 		}
 		// Rejected fault batches return 422 with a full FaultsResponse;
 		// decode it so callers see the journaled rejection event.
 		if dst != nil {
 			json.Unmarshal(data, dst)
 		}
-		return retryStatus(resp.StatusCode), fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		err := fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		if draining {
+			err = fmt.Errorf("%w: %v", ErrDraining, err)
+		}
+		return retryStatus(resp.StatusCode), err
 	}
 	if dst == nil || resp.StatusCode == http.StatusNoContent {
 		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
-		return false, err
+		// A connection reset mid-body surfaces here rather than in Do.
+		// GETs are idempotent, so a torn response (e.g. the old owner
+		// dropping connections as a drain flips routing) is retried;
+		// mutations are not, since the server may have applied them.
+		return method == http.MethodGet, err
 	}
 	return false, nil
 }

@@ -73,6 +73,67 @@ func TestClientRetryExhaustion(t *testing.T) {
 	}
 }
 
+// TestClientCountsDrainRetriesSeparately: a 503 carrying the fleet's
+// draining marker is retried like any gateway error, but lands in the
+// DrainRetries counter (as ErrDraining) rather than Retries — rebalance
+// choreography is not a fault.
+func TestClientCountsDrainRetriesSeparately(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Fleet-Draining", "1")
+			http.Error(w, `{"error":"session draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"name":"drained"}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond, RetryCap: 5 * time.Millisecond}
+	st, err := c.State(context.Background(), "drained")
+	if err != nil || st.Name != "drained" {
+		t.Fatalf("State through draining window = %+v, %v", st, err)
+	}
+	if d, r := c.DrainRetries.Load(), c.Retries.Load(); d != 2 || r != 0 {
+		t.Errorf("drain/plain retries = %d/%d, want 2/0", d, r)
+	}
+}
+
+// TestClientRetriesTornGetResponse: a response body cut mid-decode (the
+// old owner dropping connections as a rebalance flips routing) is
+// retried for idempotent GETs and surfaced immediately for mutations.
+func TestClientRetriesTornGetResponse(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if calls.Add(1) == 1 {
+			w.Write([]byte(`{"name":"torn`)) // truncated JSON
+			return
+		}
+		w.Write([]byte(`{"name":"torn"}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond, RetryCap: 5 * time.Millisecond}
+	st, err := c.State(context.Background(), "torn")
+	if err != nil || st.Name != "torn" || calls.Load() != 2 {
+		t.Fatalf("State through torn response = %+v, %v after %d calls", st, err, calls.Load())
+	}
+
+	// The same tear on a mutation is not retried: the server may have
+	// applied the batch, and the caller must decide.
+	calls.Store(0)
+	mc := &Client{Base: ts.URL, RetryBase: time.Millisecond}
+	if _, err := mc.AddFaults(context.Background(), "torn", FaultsRequest{}); err == nil {
+		t.Fatal("torn mutation response decoded cleanly")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("torn mutation retried: %d attempts", calls.Load())
+	}
+}
+
 // TestClientRetryRespectsContext: cancellation ends the retry loop
 // during backoff instead of sleeping it out.
 func TestClientRetryRespectsContext(t *testing.T) {

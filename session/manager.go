@@ -203,6 +203,71 @@ func (m *Manager) Delete(name string) error {
 	return nil
 }
 
+// Release closes the named session — journal flushed, synced and kept
+// on disk — and removes it from the live set, without the final
+// snapshot event (the journal stays byte-identical to what a reader
+// already streamed).  It is the hand-off half of a rebalance: the old
+// owner releases the session so its journal can be verified against
+// the new owner's replay, and RestoreNamed can resurrect it from the
+// same journal if the hand-off aborts.
+func (m *Manager) Release(name string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("session: manager: %w", ErrClosed)
+	}
+	s, ok := m.sessions[name]
+	if ok && s != nil {
+		delete(m.sessions, name)
+	}
+	m.mu.Unlock()
+	if !ok || s == nil {
+		return fmt.Errorf("session: no session %q", name)
+	}
+	s.mu.Lock()
+	s.closeLocked(false)
+	s.mu.Unlock()
+	return nil
+}
+
+// RestoreNamed restores one journal from the store into a live session
+// — the single-session counterpart of Restore, used when a journal
+// materialized after startup (a rebalance hand-off ingested through the
+// replica stream, or an aborted hand-off resurrecting on the old
+// owner).  The replay is the same deterministic, hash-verified path as
+// Restore; an already-live session is returned as-is.
+func (m *Manager) RestoreNamed(name string) (*Session, error) {
+	if m.store == nil {
+		return nil, fmt.Errorf("session: manager has no store")
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: manager: %w", ErrClosed)
+	}
+	if s, ok := m.sessions[name]; ok && s != nil {
+		m.mu.Unlock()
+		return s, nil
+	}
+	m.mu.Unlock()
+	s, err := m.restoreOne(name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	m.mu.Lock()
+	if live, ok := m.sessions[name]; ok && live != nil {
+		// Lost a race with a concurrent restore; keep the winner.
+		m.mu.Unlock()
+		s.mu.Lock()
+		s.closeLocked(false)
+		s.mu.Unlock()
+		return live, nil
+	}
+	m.sessions[name] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
 // Close snapshots, flushes and syncs every session journal and marks
 // the manager closed: subsequent Create/Delete calls and mutations on
 // the closed sessions return an error wrapping ErrClosed instead of
