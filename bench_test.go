@@ -18,6 +18,7 @@ import (
 	"debruijnring/internal/necklace"
 	"debruijnring/internal/repair"
 	"debruijnring/internal/word"
+	"debruijnring/obs"
 	"debruijnring/topology"
 )
 
@@ -431,6 +432,26 @@ func BenchmarkAblationBroadcastSplit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkObsObserve measures histogram observation — the
+// instrumentation cost paid inline on every engine request and repair
+// event.  Each iteration records 1000 observations spread across the
+// value range, so ns/op ÷ 1000 is the per-observation cost (pinned
+// well under 100ns) and allocs/op must stay 0; the inner loop keeps
+// the CI job's tiny -benchtime above timer noise.
+func BenchmarkObsObserve(b *testing.B) {
+	h := &obs.Histogram{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := int64(0); v < 1000; v++ {
+			h.Observe(v << uint(v%40))
+		}
+	}
+	if h.Count() != int64(b.N)*1000 {
+		b.Fatal("lost observations")
+	}
 }
 
 // BenchmarkWordKernels measures the integer-coded tuple primitives that

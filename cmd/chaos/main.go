@@ -64,6 +64,13 @@
 // paper's dⁿ − nf bound whenever the cold embed meets it, until the
 // next re-embed re-adopts the ring.  Any verify error or divergence
 // exits nonzero, which is what the CI soak job gates on.
+//
+// -check also reads the server's merged metrics snapshot
+// (GET /v1/metrics) and prints per-tier repair-latency quantiles
+// (p50/p99/p999) from the server-side histograms; against a ringfleet
+// router it additionally re-fetches every shard's local snapshot,
+// merges it offline and verifies the router's fleet-wide histograms
+// bucket-for-bucket, exiting nonzero on divergence.
 package main
 
 import (
@@ -76,11 +83,11 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"debruijnring/obs"
 	"debruijnring/session"
 	"debruijnring/topology"
 )
@@ -238,6 +245,10 @@ func runFleet(cfg fleetConfig) error {
 	if base == "" {
 		base = fmt.Sprintf("chaos-%d", cfg.seed)
 	}
+	// One shared registry: every client mirrors its retry counters into
+	// it, so the aggregated report reads one metrics snapshot instead of
+	// scraping per-client struct fields.
+	metrics := obs.NewRegistry()
 	runners := make([]*runner, cfg.sessions)
 	for i := range runners {
 		seed := cfg.seed + int64(i)
@@ -257,7 +268,7 @@ func runFleet(cfg fleetConfig) error {
 			quiet:    true,
 			// Per-session clients so drain-induced retries (rebalance
 			// choreography) are countable apart from failover retries.
-			client: &session.Client{Base: cfg.server},
+			client: &session.Client{Base: cfg.server, Metrics: metrics},
 		}
 		if cfg.rebalance != "" {
 			// The retry budget must outlast the drain window of the
@@ -305,11 +316,8 @@ func runFleet(cfg fleetConfig) error {
 
 	agg := &runner{}
 	failed := 0
-	var retries, drains int64
 	for i, r := range runners {
 		agg.samples = append(agg.samples, r.samples...)
-		retries += r.client.Retries.Load()
-		drains += r.client.DrainRetries.Load()
 		if errs[i] != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "chaos: session %s: %v\n", r.name, errs[i])
@@ -318,11 +326,19 @@ func runFleet(cfg fleetConfig) error {
 	fmt.Printf("%d events across %d sessions in %s (%.0f events/s)\n",
 		len(agg.samples), cfg.sessions, elapsed.Round(time.Millisecond),
 		float64(len(agg.samples))/elapsed.Seconds())
-	fmt.Printf("client retries: %d failover/transient, %d drain-induced (rebalance choreography)\n",
-		retries, drains)
+	retries := metrics.Snapshot()
+	fmt.Printf("client retries: %d failover/transient, %d drain-induced (rebalance choreography), %d torn-response\n",
+		retries.Counters[obs.Key("session_client_retries_total", "kind", "transient")],
+		retries.Counters[obs.Key("session_client_retries_total", "kind", "drain")],
+		retries.Counters[obs.Key("session_client_retries_total", "kind", "torn")])
 	spliced := agg.report()
 	if failed > 0 {
 		return fmt.Errorf("%d of %d sessions failed", failed, cfg.sessions)
+	}
+	if cfg.check {
+		if err := reportFleetMetrics(cfg.server); err != nil {
+			return err
+		}
 	}
 	if cfg.rebalance != "" {
 		if err := <-rebalanced; err != nil {
@@ -562,6 +578,11 @@ func (r *runner) run() error {
 		return err
 	}
 	spliced := r.report()
+	if r.check {
+		if err := reportFleetMetrics(r.server); err != nil {
+			return err
+		}
+	}
 	if spliced < r.minSplice {
 		return fmt.Errorf("splice tier resolved %d events, want ≥ %d (-min-splice): the repair chain may have degenerated to re-embed-only",
 			spliced, r.minSplice)
@@ -778,20 +799,30 @@ func (r *runner) report() int {
 		fmt.Printf("splice hit rate:  %.1f%% (%d of %d events past the structural tier)\n",
 			100*float64(spliced)/float64(pastFFC), spliced, pastFFC)
 	}
+	// Per-tier latency through the same log-bucketed histograms the
+	// server exposes at /metrics (quantile error bounded by the bucket
+	// width), so this table and a fleet-wide scrape read alike.
+	header := false
 	for _, kind := range []string{"local", "splice", "reembed", "heal-local", "heal-splice", "heal-reembed"} {
 		lat := byKind[kind]
 		if len(lat) == 0 {
 			continue
 		}
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		var sum int64
+		h := &obs.Histogram{}
 		for _, v := range lat {
-			sum += v
+			h.Observe(v)
 		}
-		fmt.Printf("%-12s latency: mean %s  p50 %s  max %s\n", kind,
-			time.Duration(sum/int64(len(lat))),
-			time.Duration(lat[len(lat)/2]),
-			time.Duration(lat[len(lat)-1]))
+		s := h.Snapshot()
+		if !header {
+			fmt.Printf("%-12s %8s  %12s  %12s  %12s  %12s\n",
+				"tier", "count", "mean", "p50", "p99", "p999")
+			header = true
+		}
+		fmt.Printf("%-12s %8d  %12s  %12s  %12s  %12s\n", kind, s.Count,
+			time.Duration(s.Mean()),
+			time.Duration(s.Quantile(0.50)),
+			time.Duration(s.Quantile(0.99)),
+			time.Duration(s.Quantile(0.999)))
 	}
 	// Degradation: how much ring the stream cost versus the guarantee.
 	var last *sample

@@ -30,6 +30,10 @@
 //	GET  /healthz      router liveness
 //	GET  /v1/fleet     per-group status: active URL, promotion, requests,
 //	                   replica_state/replica_lag from each shard
+//	GET  /metrics      fleet-wide Prometheus text: every shard's registry
+//	                   merged (histograms bucket-exact) with the router's
+//	                   own per-group counters
+//	GET  /v1/metrics   the same merged view as a JSON snapshot
 //	POST /v1/fleet/shards  add a shard group at runtime: the moved
 //	                   keyspace is drained, journals are handed off to
 //	                   the new owner and hash-verified, then routing
@@ -56,6 +60,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -101,6 +106,7 @@ func main() {
 	flag.Var(&shards, "shard", "shard group as primary[=replica] URL pair (repeatable)")
 	var spares stringFlags
 	flag.Var(&spares, "spare", "standby shard URL for post-promotion re-replication (repeatable)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	if len(shards) == 0 {
@@ -120,9 +126,22 @@ func main() {
 	}
 	defer router.Close()
 
+	// The router proxies unknown paths to shards round-robin, so pprof
+	// (opt-in) is mounted in front of it rather than inside ServeHTTP.
+	var handler http.Handler = router
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", router)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           router,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

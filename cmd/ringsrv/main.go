@@ -8,6 +8,8 @@
 //	POST /v1/disjoint-cycles  {"topology":"debruijn(4,3)","max_cycles":2}
 //	POST /v1/broadcast        {"topology":"debruijn(4,2)","message_size":12,"rings":3}
 //	GET  /v1/stats            engine cache + session repair counters
+//	GET  /metrics             Prometheus text exposition (histograms included)
+//	GET  /v1/metrics          the same registry as a JSON snapshot
 //	GET  /healthz
 //
 //	POST   /v1/sessions                create an incremental-repair session
@@ -17,6 +19,7 @@
 //	POST   /v1/sessions/{name}/faults  absorb a fault batch (local repair or re-embed)
 //	DELETE /v1/sessions/{name}/faults  re-admit a repaired batch (local un-patch or re-embed)
 //	GET    /v1/sessions/{name}/watch   stream ring deltas (long-poll or SSE)
+//	GET    /v1/sessions/{name}/trace   recent repair traces (per-tier timings)
 //
 //	POST   /v1/replica/append          ingest a peer's journal events
 //	DELETE /v1/replica/sessions/{name} drop a replicated journal
@@ -76,6 +79,7 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 32, "journal snapshot cadence in fault events")
 	replicateTo := flag.String("replicate-to", "", "peer base URL to stream journal events to (fleet shard mode)")
 	standby := flag.Bool("standby", false, "skip the startup restore; hold journals cold until promoted")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	shard, err := fleet.NewShard(fleet.ShardConfig{
@@ -97,7 +101,7 @@ func main() {
 	defer shard.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(shard.Engine, nil, shard.Handler()),
+		Handler:           newServer(shard.Engine, nil, shard.Handler(), *enablePprof),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"debruijnring/engine"
 	"debruijnring/internal/broadcast"
@@ -24,17 +25,30 @@ type server struct {
 // session/fleet surface.  shardH — a fleet Shard's handler — takes
 // precedence for the session, replica and replication routes, carrying
 // the shard's split-brain fence and control plane; a bare sessions
-// manager (tests) mounts the session API directly.
-func newServer(eng *engine.Engine, sessions *session.Manager, shardH http.Handler) *server {
+// manager (tests) mounts the session API directly.  enablePprof mounts
+// net/http/pprof under /debug/pprof/ (opt-in: the profiles leak
+// internals, so production deployments keep it off unless diagnosing).
+func newServer(eng *engine.Engine, sessions *session.Manager, shardH http.Handler, enablePprof bool) *server {
 	s := &server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/embed", s.handleEmbed)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/disjoint-cycles", s.handleDisjointCycles)
 	s.mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", eng.Registry().Handler())
+	s.mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eng.Registry().Snapshot())
+	})
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if enablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	switch {
 	case shardH != nil:
 		for _, p := range []string{"/v1/sessions", "/v1/sessions/", "/v1/replica/", "/v1/replication", "/v1/replication/"} {

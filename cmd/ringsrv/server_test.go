@@ -3,12 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"debruijnring/engine"
+	"debruijnring/obs"
 	"debruijnring/session"
 )
 
@@ -16,7 +18,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	eng := engine.New(engine.Options{})
 	sessions := session.NewManager(eng, session.Options{})
-	ts := httptest.NewServer(newServer(eng, sessions, nil))
+	ts := httptest.NewServer(newServer(eng, sessions, nil, false))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -216,6 +218,70 @@ func TestBroadcastEndpoint(t *testing.T) {
 	}
 	if multi.Rings != 3 || multi.TimeUnits*3 != single.TimeUnits {
 		t.Errorf("expected 3× speedup: single %+v, multi %+v", single, multi)
+	}
+}
+
+// TestMetricsEndpoints checks the exposition surface: /metrics serves
+// Prometheus text with the engine families, /v1/metrics the JSON
+// snapshot, and /debug/pprof/ is absent unless opted in.
+func TestMetricsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/embed", `{"topology":"debruijn(3,3)","node_faults":["020"]}`, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE engine_request_ns histogram",
+		"engine_request_ns_count 1",
+		"engine_cache_misses_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+
+	var snap obs.Snapshot
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Histograms["engine_request_ns"].Count != 1 {
+		t.Errorf("snapshot engine_request_ns count = %d, want 1", snap.Histograms["engine_request_ns"].Count)
+	}
+
+	// pprof is opt-in: absent on the default server, mounted with the flag.
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without -pprof: status %d, want 404", resp.StatusCode)
+	}
+	eng := engine.New(engine.Options{})
+	pts := httptest.NewServer(newServer(eng, nil, nil, true))
+	defer pts.Close()
+	resp, err = http.Get(pts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ with -pprof: status %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -11,10 +11,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
+	"debruijnring/obs"
 	"debruijnring/topology"
 )
 
@@ -28,19 +28,27 @@ type Options struct {
 	// CacheSize is the LRU capacity in (topology, fault set) entries;
 	// 0 means DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// Registry receives the engine's metrics (request latency
+	// histogram, per-tier repair histograms, cache counters).  Nil
+	// creates a private registry, reachable via Engine.Registry.
+	Registry *obs.Registry
 }
 
 // DefaultCacheSize is the LRU capacity used when Options.CacheSize is 0.
 const DefaultCacheSize = 512
 
-// latencySamples bounds the retained per-request latency reservoir used
-// for the p50/p99 estimates: a ring of the most recent served requests.
-const latencySamples = 4096
-
 // Engine embeds fault-free rings concurrently with memoization.  It is
 // safe for concurrent use.
 type Engine struct {
 	workers int
+
+	reg     *obs.Registry
+	latHist *obs.Histogram // engine_request_ns
+	// Per-tier repair latency histograms and outcome counters, indexed
+	// by RepairKind; resolved once so the record path is lock-free on
+	// the registry side.
+	repairNs    [numRepairKinds]*obs.Histogram
+	repairTotal [numRepairKinds]*obs.Counter
 
 	mu       sync.Mutex
 	cache    *lruCache
@@ -48,8 +56,6 @@ type Engine struct {
 	hits     int64
 	misses   int64
 	evicted  int64
-	lat      []int64 // ns, ring buffer of the last latencySamples requests
-	latPos   int
 	sessions SessionStats
 }
 
@@ -75,8 +81,40 @@ func New(opts Options) *Engine {
 	case opts.CacheSize > 0:
 		cache = newLRU(opts.CacheSize)
 	}
-	return &Engine{workers: workers, cache: cache, inflight: make(map[string]*flight)}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{workers: workers, cache: cache, inflight: make(map[string]*flight), reg: reg}
+	reg.SetHelp("engine_request_ns", "embed request latency (cache hits included, failures excluded)")
+	reg.SetHelp("session_repair_ns", "session fault-event latency by resolving repair tier")
+	reg.SetHelp("session_repair_total", "session fault events by resolving repair tier")
+	e.latHist = reg.Histogram("engine_request_ns")
+	for kind := RepairKind(0); kind < numRepairKinds; kind++ {
+		e.repairNs[kind] = reg.Histogram("session_repair_ns", "tier", kind.String())
+		e.repairTotal[kind] = reg.Counter("session_repair_total", "tier", kind.String())
+	}
+	// Cache and replication counters live under the engine mutex; a
+	// collector mirrors them into the registry at scrape time.
+	reg.SetHelp("engine_cache_hits_total", "embed cache hits (in-flight collapses included)")
+	reg.SetHelp("engine_cache_entries", "live embed cache entries")
+	reg.AddCollector(func(r *obs.Registry) {
+		e.mu.Lock()
+		cs := e.cacheStatsLocked()
+		repl := e.sessions
+		e.mu.Unlock()
+		r.Counter("engine_cache_hits_total").Set(cs.Hits)
+		r.Counter("engine_cache_misses_total").Set(cs.Misses)
+		r.Counter("engine_cache_evicted_total").Set(cs.Evicted)
+		r.Gauge("engine_cache_entries").Set(int64(cs.Entries))
+		r.Counter("fleet_replica_appends_total").Set(repl.ReplicaAppends)
+		r.Counter("fleet_replica_errors_total").Set(repl.ReplicaErrors)
+	})
+	return e
 }
+
+// Registry returns the engine's metrics registry (never nil).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // Request names one embedding: a network (either directly or as a
 // topology.FromSpec string) and the components that failed.
@@ -282,7 +320,32 @@ const (
 	// re-inserted the healed components after the structural tier
 	// declined.
 	RepairSpliceHeal
+
+	numRepairKinds
 )
+
+// String returns the tier label used in metrics and chaos reports.
+func (k RepairKind) String() string {
+	switch k {
+	case RepairLocal:
+		return "local"
+	case RepairReembed:
+		return "reembed"
+	case RepairNoop:
+		return "noop"
+	case RepairRejected:
+		return "rejected"
+	case RepairHealLocal:
+		return "heal_local"
+	case RepairHealReembed:
+		return "heal_reembed"
+	case RepairSplice:
+		return "splice"
+	case RepairSpliceHeal:
+		return "splice_heal"
+	}
+	return "unknown"
+}
 
 // SessionStats aggregates fault-event outcomes across every session
 // feeding this engine: how often incremental repair beat the full
@@ -325,10 +388,15 @@ type SessionStats struct {
 	SpliceHitRate float64 `json:"splice_hit_rate"`
 }
 
-// RecordRepair accounts one session fault event.  The session subsystem
-// calls it for every absorbed fault batch so /v1/stats surfaces
-// repair-vs-recompute behavior next to the cache counters.
-func (e *Engine) RecordRepair(kind RepairKind) {
+// RecordRepair accounts one session fault event and its end-to-end
+// latency.  The session subsystem calls it for every absorbed fault
+// batch so /v1/stats surfaces repair-vs-recompute behavior next to the
+// cache counters, and the per-tier histograms feed /metrics.
+func (e *Engine) RecordRepair(kind RepairKind, elapsed time.Duration) {
+	if kind >= 0 && kind < numRepairKinds {
+		e.repairNs[kind].Observe(int64(elapsed))
+		e.repairTotal[kind].Inc()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	switch kind {
@@ -365,27 +433,29 @@ func (e *Engine) RecordReplication(ok bool) {
 
 // EngineStats is the observability snapshot served by the stats
 // endpoint: cache counters (flattened), the cache hit rate, latency
-// percentiles over the most recent served requests, and the session
-// subsystem's repair-vs-re-embed counters.
+// percentiles over every served request, and the session subsystem's
+// repair-vs-re-embed counters.
 type EngineStats struct {
 	CacheStats
 	Requests       int64        `json:"requests"`
 	HitRate        float64      `json:"hit_rate"`
 	LatencyP50Ns   int64        `json:"latency_p50_ns"`
 	LatencyP99Ns   int64        `json:"latency_p99_ns"`
-	LatencySamples int          `json:"latency_samples"`
+	LatencyP999Ns  int64        `json:"latency_p999_ns"`
+	LatencySamples int64        `json:"latency_samples"`
 	Sessions       SessionStats `json:"sessions"`
 }
 
 // Stats returns a snapshot of the engine's cache and latency behavior.
-// Percentiles are computed over a bounded reservoir of the most recent
-// successfully served requests — cache hits included, failed embeddings
-// excluded (they count in Requests via Misses but contribute no latency
-// sample, so LatencySamples can trail Requests).
+// Percentiles come from the engine_request_ns histogram, which covers
+// every successfully served request since process start (the former
+// bounded reservoir overweighted recent traffic) — cache hits
+// included, failed embeddings excluded (they count in Requests via
+// Misses but contribute no latency sample, so LatencySamples can trail
+// Requests).
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	s := EngineStats{CacheStats: e.cacheStatsLocked(), Sessions: e.sessions}
-	lat := append([]int64(nil), e.lat...)
 	e.mu.Unlock()
 	if ringChanging := s.Sessions.LocalRepairs + s.Sessions.SpliceRepairs + s.Sessions.Reembeds; ringChanging > 0 {
 		s.Sessions.PatchHitRate = float64(s.Sessions.LocalRepairs+s.Sessions.SpliceRepairs) / float64(ringChanging)
@@ -402,25 +472,14 @@ func (e *Engine) Stats() EngineStats {
 	if s.Requests > 0 {
 		s.HitRate = float64(s.Hits) / float64(s.Requests)
 	}
-	s.LatencySamples = len(lat)
-	if len(lat) > 0 {
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		s.LatencyP50Ns = lat[len(lat)/2]
-		s.LatencyP99Ns = lat[min(len(lat)-1, len(lat)*99/100)]
+	lat := e.latHist.Snapshot()
+	s.LatencySamples = lat.Count
+	if lat.Count > 0 {
+		s.LatencyP50Ns = lat.Quantile(0.50)
+		s.LatencyP99Ns = lat.Quantile(0.99)
+		s.LatencyP999Ns = lat.Quantile(0.999)
 	}
 	return s
-}
-
-// recordLatency appends one served-request latency to the reservoir.
-func (e *Engine) recordLatency(d time.Duration) {
-	e.mu.Lock()
-	if len(e.lat) < latencySamples {
-		e.lat = append(e.lat, int64(d))
-	} else {
-		e.lat[e.latPos] = int64(d)
-	}
-	e.latPos = (e.latPos + 1) % latencySamples
-	e.mu.Unlock()
 }
 
 func (e *Engine) resolve(req Request) (topology.RingEmbedder, error) {
@@ -434,10 +493,10 @@ func (e *Engine) resolve(req Request) (topology.RingEmbedder, error) {
 }
 
 // result assembles a Result, copying the ring so cached slices cannot be
-// mutated by callers, and feeds the latency reservoir.
+// mutated by callers, and feeds the latency histogram.
 func (e *Engine) result(net topology.Network, ring []int, info topologyInfo, hit bool, start time.Time) *Result {
 	elapsed := time.Since(start)
-	e.recordLatency(elapsed)
+	e.latHist.Observe(int64(elapsed))
 	return &Result{
 		Ring: append([]int(nil), ring...),
 		Stats: Stats{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"debruijnring/topology"
 )
@@ -209,12 +210,12 @@ func TestEmbedBatchMidflightCancellation(t *testing.T) {
 
 func TestSessionRepairStats(t *testing.T) {
 	eng := New(Options{})
-	eng.RecordRepair(RepairLocal)
-	eng.RecordRepair(RepairLocal)
-	eng.RecordRepair(RepairLocal)
-	eng.RecordRepair(RepairReembed)
-	eng.RecordRepair(RepairNoop)
-	eng.RecordRepair(RepairRejected)
+	eng.RecordRepair(RepairLocal, time.Microsecond)
+	eng.RecordRepair(RepairLocal, time.Microsecond)
+	eng.RecordRepair(RepairLocal, time.Microsecond)
+	eng.RecordRepair(RepairReembed, time.Microsecond)
+	eng.RecordRepair(RepairNoop, time.Microsecond)
+	eng.RecordRepair(RepairRejected, time.Microsecond)
 	s := eng.Stats().Sessions
 	if s.LocalRepairs != 3 || s.Reembeds != 1 || s.Noops != 1 || s.Rejected != 1 {
 		t.Errorf("session stats = %+v", s)
@@ -229,13 +230,13 @@ func TestSessionRepairStats(t *testing.T) {
 // patch hit rate.
 func TestSessionHealStats(t *testing.T) {
 	eng := New(Options{})
-	eng.RecordRepair(RepairHealLocal)
-	eng.RecordRepair(RepairHealLocal)
-	eng.RecordRepair(RepairHealLocal)
-	eng.RecordRepair(RepairHealLocal)
-	eng.RecordRepair(RepairHealReembed)
-	eng.RecordRepair(RepairLocal)
-	eng.RecordRepair(RepairReembed)
+	eng.RecordRepair(RepairHealLocal, time.Microsecond)
+	eng.RecordRepair(RepairHealLocal, time.Microsecond)
+	eng.RecordRepair(RepairHealLocal, time.Microsecond)
+	eng.RecordRepair(RepairHealLocal, time.Microsecond)
+	eng.RecordRepair(RepairHealReembed, time.Microsecond)
+	eng.RecordRepair(RepairLocal, time.Microsecond)
+	eng.RecordRepair(RepairReembed, time.Microsecond)
 	s := eng.Stats().Sessions
 	if s.LocalHeals != 4 || s.HealReembeds != 1 {
 		t.Errorf("heal stats = %+v", s)
@@ -254,12 +255,12 @@ func TestSessionHealStats(t *testing.T) {
 // the splice tier caught before the re-embed cliff.
 func TestSessionSpliceStats(t *testing.T) {
 	eng := New(Options{})
-	eng.RecordRepair(RepairSplice)
-	eng.RecordRepair(RepairSplice)
-	eng.RecordRepair(RepairReembed)
-	eng.RecordRepair(RepairSpliceHeal)
-	eng.RecordRepair(RepairHealReembed)
-	eng.RecordRepair(RepairLocal)
+	eng.RecordRepair(RepairSplice, time.Microsecond)
+	eng.RecordRepair(RepairSplice, time.Microsecond)
+	eng.RecordRepair(RepairReembed, time.Microsecond)
+	eng.RecordRepair(RepairSpliceHeal, time.Microsecond)
+	eng.RecordRepair(RepairHealReembed, time.Microsecond)
+	eng.RecordRepair(RepairLocal, time.Microsecond)
 	s := eng.Stats().Sessions
 	if s.SpliceRepairs != 2 || s.SpliceHeals != 1 {
 		t.Errorf("splice stats = %+v", s)
@@ -414,8 +415,30 @@ func TestEngineStats(t *testing.T) {
 	if s.LatencySamples != 4 {
 		t.Errorf("latency samples = %d, want 4", s.LatencySamples)
 	}
-	if s.LatencyP50Ns <= 0 || s.LatencyP99Ns < s.LatencyP50Ns {
-		t.Errorf("latency percentiles p50=%d p99=%d", s.LatencyP50Ns, s.LatencyP99Ns)
+	if s.LatencyP50Ns <= 0 || s.LatencyP99Ns < s.LatencyP50Ns || s.LatencyP999Ns < s.LatencyP99Ns {
+		t.Errorf("latency percentiles p50=%d p99=%d p999=%d", s.LatencyP50Ns, s.LatencyP99Ns, s.LatencyP999Ns)
+	}
+	snap := eng.Registry().Snapshot()
+	if got := snap.Histograms["engine_request_ns"].Count; got != 4 {
+		t.Errorf("engine_request_ns count = %d, want 4", got)
+	}
+	if got := snap.Counters["engine_cache_hits_total"]; got != 3 {
+		t.Errorf("engine_cache_hits_total = %d, want 3", got)
+	}
+}
+
+func TestRecordRepairFeedsRegistry(t *testing.T) {
+	eng := New(Options{})
+	eng.RecordRepair(RepairLocal, 5*time.Microsecond)
+	eng.RecordRepair(RepairLocal, 7*time.Microsecond)
+	eng.RecordRepair(RepairReembed, time.Millisecond)
+	snap := eng.Registry().Snapshot()
+	local := snap.Histograms[`session_repair_ns{tier="local"}`]
+	if local.Count != 2 {
+		t.Errorf("local repair histogram count = %d, want 2", local.Count)
+	}
+	if got := snap.Counters[`session_repair_total{tier="reembed"}`]; got != 1 {
+		t.Errorf("reembed counter = %d, want 1", got)
 	}
 }
 

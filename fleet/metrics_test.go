@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"debruijnring/obs"
+	"debruijnring/session"
+)
+
+func fetchSnapshot(t *testing.T, url string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestFleetMetricsMerge checks the fleet-wide metrics contract: the
+// router's /v1/metrics equals the shard-local snapshots merged offline
+// with the router's own registry (histograms bucket-for-bucket), and
+// the Prometheus text endpoints serve the merged families.
+func TestFleetMetricsMerge(t *testing.T) {
+	shards := make([]*Shard, 2)
+	urls := make([]string, 2)
+	groups := make([]ShardGroup, 0, 2)
+	for i := range shards {
+		shard, ts := newTestShard(t, "", false)
+		shards[i], urls[i] = shard, ts.URL
+		groups = append(groups, ShardGroup{Name: fmt.Sprintf("g%d", i), Primary: ts.URL})
+	}
+	rt, rts := newTestRouter(t, groups, RouterOptions{CheckInterval: time.Hour})
+
+	// Drive traffic through the router so both shards accumulate engine
+	// and repair histogram samples.
+	ctx := context.Background()
+	c := &session.Client{Base: rts.URL}
+	sessions := 0
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("m%d", i)
+		st, err := c.Create(ctx, session.CreateRequest{Name: name, Topology: "debruijn(2,6)"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions++
+		if _, err := c.AddFaults(ctx, name, session.FaultsRequest{NodeFaults: []string{st.Ring[3]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fleet-wide view through the router, then the same shards scraped
+	// directly and merged offline with the router's own registry.
+	merged := fetchSnapshot(t, rts.URL+"/v1/metrics")
+	offline := []obs.Snapshot{rt.Metrics().Snapshot()}
+	for _, u := range urls {
+		offline = append(offline, fetchSnapshot(t, u+"/v1/metrics"))
+	}
+	want, err := obs.Merge(offline...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Counters, want.Counters) {
+		t.Errorf("merged counters disagree with offline merge:\n got %v\nwant %v", merged.Counters, want.Counters)
+	}
+	if !reflect.DeepEqual(merged.Gauges, want.Gauges) {
+		t.Errorf("merged gauges disagree with offline merge:\n got %v\nwant %v", merged.Gauges, want.Gauges)
+	}
+	if !reflect.DeepEqual(merged.Histograms, want.Histograms) {
+		t.Errorf("merged histograms disagree with offline merge:\n got %v\nwant %v", merged.Histograms, want.Histograms)
+	}
+
+	// The merged view carries each layer's families: summed shard
+	// gauges, per-tier repair histograms with fleet-wide counts, and the
+	// router's per-group counters.
+	if got := merged.Gauges["fleet_shard_sessions"]; got != int64(sessions) {
+		t.Errorf("fleet_shard_sessions = %d, want %d", got, sessions)
+	}
+	var repairs int64
+	for key, h := range merged.Histograms {
+		if obs.Family(key) == "session_repair_ns" {
+			repairs += h.Count
+		}
+	}
+	if repairs < int64(sessions) {
+		t.Errorf("fleet-wide repair histogram count = %d, want >= %d", repairs, sessions)
+	}
+	var routed int64
+	for _, g := range groups {
+		key := obs.Key("fleet_router_requests_total", "group", g.Name)
+		if _, ok := merged.Counters[key]; !ok {
+			t.Errorf("merged view is missing %s", key)
+		}
+		routed += merged.Counters[key]
+	}
+	if routed < int64(2*sessions) {
+		t.Errorf("router request counters sum to %d, want >= %d", routed, 2*sessions)
+	}
+	// Per-shard collector state survives the merge: both shards run
+	// replication off, so the summed state gauge counts both.
+	if got := merged.Gauges[obs.Key("fleet_replica_state", "state", "off")]; got != 2 {
+		t.Errorf(`fleet_replica_state{state="off"} = %d, want 2`, got)
+	}
+
+	// Text exposition on both layers.
+	for _, u := range []string{urls[0] + "/metrics", rts.URL + "/metrics"} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Errorf("GET %s: Content-Type = %q", u, ct)
+		}
+		for _, family := range []string{"engine_request_ns_bucket", "session_repair_ns_bucket", "fleet_shard_sessions"} {
+			if !strings.Contains(string(body), family) {
+				t.Errorf("GET %s: exposition is missing %s", u, family)
+			}
+		}
+	}
+	if !strings.Contains(mustGet(t, rts.URL+"/metrics"), "fleet_router_requests_total") {
+		t.Error("router exposition is missing its own fleet_router_requests_total")
+	}
+}
+
+// TestFleetMetricsPartial pins the degraded-scrape contract: a shard
+// that stops answering before the health loop notices is named in
+// X-Fleet-Partial, and the merged view still carries every family the
+// reachable shards and the router itself contribute.
+func TestFleetMetricsPartial(t *testing.T) {
+	_, ts0 := newTestShard(t, "", false)
+	_, ts1 := newTestShard(t, "", false)
+	groups := []ShardGroup{
+		{Name: "g0", Primary: ts0.URL},
+		{Name: "g1", Primary: ts1.URL},
+	}
+	// An hour-long check interval parks the health loop, so the dead
+	// shard is still considered up when the scrape fans out.
+	_, rts := newTestRouter(t, groups, RouterOptions{CheckInterval: time.Hour})
+	ts1.Close()
+
+	resp, err := http.Get(rts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Fleet-Partial"); got != "g1" {
+		t.Errorf("X-Fleet-Partial = %q, want %q", got, "g1")
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Histograms["engine_request_ns"]; !ok {
+		t.Error("partial merge lost the reachable shard's engine_request_ns")
+	}
+	if _, ok := snap.Counters[obs.Key("fleet_router_requests_total", "group", "g0")]; !ok {
+		t.Error("partial merge lost the router's own counters")
+	}
+}
+
+func mustGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"debruijnring/obs"
 	"debruijnring/session"
 )
 
@@ -132,6 +133,11 @@ type Router struct {
 	fanout  *http.Client // list-merge fan-out; health's timeout is too tight
 	logf    func(string, ...any)
 
+	// metrics is the router's own registry (per-group routing counters);
+	// /metrics merges it with every shard's snapshot.  See metrics.go.
+	metrics    *obs.Registry
+	drainCount *obs.Counter
+
 	rr   atomic.Uint64
 	kick chan *group
 	stop chan struct{}
@@ -168,6 +174,7 @@ func NewRouter(groups []ShardGroup, opts RouterOptions) (*Router, error) {
 		kick:    make(chan *group, 64),
 		stop:    make(chan struct{}),
 	}
+	rt.initMetrics()
 	view := &routing{
 		groups:  make(map[string]*group, len(groups)),
 		proxies: make(map[string]*httputil.ReverseProxy, len(groups)),
@@ -279,6 +286,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	case path == "/v1/fleet":
 		rt.serveFleetStatus(w)
+	case path == "/metrics":
+		rt.serveMetrics(w, true)
+	case path == "/v1/metrics":
+		rt.serveMetrics(w, false)
 	case path == "/v1/fleet/shards":
 		if r.Method != http.MethodPost {
 			routerError(w, http.StatusMethodNotAllowed, errors.New("POST a shard group to add it"))
@@ -299,7 +310,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if d := rt.drain.Load(); d != nil && d.moved[name] {
-			routerDraining(w, name)
+			rt.routerDraining(w, name)
 			return
 		}
 		view := rt.view.Load()
@@ -316,7 +327,8 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // 503 with Retry-After and the draining marker, so the client's backoff
 // (session.Client counts these separately as ErrDraining) carries it
 // across the routing flip.
-func routerDraining(w http.ResponseWriter, name string) {
+func (rt *Router) routerDraining(w http.ResponseWriter, name string) {
+	rt.drainCount.Inc()
 	w.Header().Set("Retry-After", "1")
 	w.Header().Set("X-Fleet-Draining", "1")
 	routerError(w, http.StatusServiceUnavailable,
@@ -343,7 +355,7 @@ func (rt *Router) routeCreate(w http.ResponseWriter, r *http.Request) {
 	if d := rt.drain.Load(); d != nil && d.pending.Lookup(req.Name) != view.hash.Lookup(req.Name) {
 		// Creating on the old owner would strand the journal the moment
 		// the pending ring flips; hold the create until it does.
-		routerDraining(w, req.Name)
+		rt.routerDraining(w, req.Name)
 		return
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"debruijnring/obs"
 	"debruijnring/session"
 )
 
@@ -297,7 +298,10 @@ func TestFleetRebalanceMovesOnlyStolenKeyspace(t *testing.T) {
 	var mu sync.Mutex
 	writeErrs := map[string]error{}
 	for _, name := range names {
-		cl := &session.Client{Base: rts.URL, MaxAttempts: 12, RetryBase: 10 * time.Millisecond, RetryCap: 100 * time.Millisecond}
+		// Per-client registries: the retry assertions below read the
+		// metrics surface, the same counters a fleet scrape serves.
+		cl := &session.Client{Base: rts.URL, MaxAttempts: 12, RetryBase: 10 * time.Millisecond, RetryCap: 100 * time.Millisecond,
+			Metrics: obs.NewRegistry()}
 		clients[name] = cl
 		label := rings[name][5]
 		wg.Add(1)
@@ -370,8 +374,10 @@ func TestFleetRebalanceMovesOnlyStolenKeyspace(t *testing.T) {
 	// Only the moved keyspace saw the drain; everything else rode
 	// through with zero retries of any kind.
 	for _, name := range stayed {
-		cl := clients[name]
-		if r, d := cl.Retries.Load(), cl.DrainRetries.Load(); r != 0 || d != 0 {
+		snap := clients[name].Metrics.Snapshot()
+		r := snap.Counters[obs.Key("session_client_retries_total", "kind", "transient")]
+		d := snap.Counters[obs.Key("session_client_retries_total", "kind", "drain")]
+		if r != 0 || d != 0 {
 			t.Errorf("unmoved session %s saw retries=%d drain=%d, want 0/0", name, r, d)
 		}
 	}

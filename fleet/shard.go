@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"debruijnring/engine"
+	"debruijnring/obs"
 	"debruijnring/session"
 )
 
@@ -113,6 +114,30 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	if repl != nil {
 		repl.OnFenced = s.demote
 	}
+	// Mirror the shard's control-plane state into the engine's registry
+	// at scrape time, so /metrics (and the router's fleet-wide merge)
+	// carries session counts, replication health and fence/demotion
+	// counts alongside the engine's own families.  Summed across shards
+	// by the router's merge: fleet_replica_state{state="ok"} then counts
+	// the shards currently in that state.
+	reg := eng.Registry()
+	reg.SetHelp("fleet_shard_sessions", "Live sessions on this shard.")
+	reg.SetHelp("fleet_shard_demotions_total", "Times this shard fenced itself and demoted to a clean standby.")
+	reg.SetHelp("fleet_replica_lag", "Events acked locally but not yet on the replica (catch-up backlog).")
+	reg.SetHelp("fleet_replica_state", "Shards currently in each replication state (1 per shard).")
+	reg.AddCollector(func(r *obs.Registry) {
+		r.Gauge("fleet_shard_sessions").Set(int64(len(mgr.List())))
+		r.Counter("fleet_shard_demotions_total").Set(s.demotions.Load())
+		rs := s.Replication()
+		r.Gauge("fleet_replica_lag").Set(rs.Lag)
+		for _, st := range []ReplicaState{ReplicaOff, ReplicaOK, ReplicaCatchup} {
+			var v int64
+			if rs.State == st {
+				v = 1
+			}
+			r.Gauge("fleet_replica_state", "state", string(st)).Set(v)
+		}
+	})
 	if store != nil && !cfg.Standby {
 		if cfg.ReplicateTo != "" && s.peerPromoted(cfg.ReplicateTo) {
 			// The replica went hot while this process was dead: its
@@ -193,7 +218,8 @@ func (s *Shard) wipeJournals() {
 }
 
 // Handler serves the shard's session API (fenced while a stale
-// ex-primary is demoting), replication endpoints, stats and health —
+// ex-primary is demoting), replication endpoints, stats, metrics
+// (Prometheus text at /metrics, JSON snapshot at /v1/metrics) and health —
 // everything the router and a peer primary need.  (The ringsrv binary
 // serves a superset: these plus the one-shot embedding endpoints.)
 func (s *Shard) Handler() http.Handler {
@@ -207,6 +233,10 @@ func (s *Shard) Handler() http.Handler {
 	mux.Handle("/v1/replication/", rh)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeReplicaJSON(w, s.Engine.Stats())
+	})
+	mux.Handle("GET /metrics", s.Engine.Registry().Handler())
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeReplicaJSON(w, s.Engine.Registry().Snapshot())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))

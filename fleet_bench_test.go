@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"debruijnring/fleet"
+	"debruijnring/obs"
 	"debruijnring/session"
 )
 
@@ -220,7 +221,8 @@ func BenchmarkFleetRebalance(b *testing.B) {
 
 	// The retry budget must outlast the drain window, or rounds
 	// overlapping the hand-off fail instead of riding it.
-	c := &session.Client{Base: rts.URL, MaxAttempts: 20, RetryBase: 10 * time.Millisecond, RetryCap: 100 * time.Millisecond}
+	c := &session.Client{Base: rts.URL, MaxAttempts: 20, RetryBase: 10 * time.Millisecond, RetryCap: 100 * time.Millisecond,
+		Metrics: obs.NewRegistry()}
 	names, labels := setupBenchSessions(b, c, 64)
 
 	added := make(chan error, 1)
@@ -237,5 +239,6 @@ func BenchmarkFleetRebalance(b *testing.B) {
 	if err := <-added; err != nil {
 		b.Fatal(err)
 	}
-	b.ReportMetric(float64(c.DrainRetries.Load())/float64(b.N), "drainretries/op")
+	drains := c.Metrics.Snapshot().Counters[obs.Key("session_client_retries_total", "kind", "drain")]
+	b.ReportMetric(float64(drains)/float64(b.N), "drainretries/op")
 }

@@ -3,6 +3,7 @@ package repair
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"debruijnring/topology"
 )
@@ -45,6 +46,19 @@ type chainPatcher struct {
 	// marks that the splice tier's internal state matches the mirror.
 	spliceOwns   bool
 	spliceSynced bool
+
+	// trace holds the tier ladder of the most recent Patch/Unpatch for
+	// LastTrace (session repair traces).
+	trace []TierStep
+}
+
+// LastTrace implements Tracer: the tier steps of the most recent
+// Patch/Unpatch, in descent order.
+func (c *chainPatcher) LastTrace() []TierStep { return c.trace }
+
+// traceStep appends one tier attempt to the current call's trace.
+func (c *chainPatcher) traceStep(tier string, o Outcome, touched int, start time.Time) {
+	c.trace = append(c.trace, TierStep{Tier: tier, Outcome: o, Touched: touched, Elapsed: time.Since(start)})
 }
 
 func newChainPatcher(t *topology.DeBruijn) *chainPatcher {
@@ -98,12 +112,15 @@ func (c *chainPatcher) syncSplice() bool {
 }
 
 func (c *chainPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
+	c.trace = c.trace[:0]
 	add = add.Canonical()
 	if !c.validBatch(add) {
 		return nil, Unsupported
 	}
 	if !c.spliceOwns {
+		start := time.Now()
 		r, o := c.ffc.Patch(add)
+		c.traceStep("ffc", o, c.ffc.touched, start)
 		if o != Unsupported {
 			if r != nil {
 				c.ring = append(c.ring[:0], r...)
@@ -117,10 +134,13 @@ func (c *chainPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 		// declines everything until the next Embed, so the mirror is the
 		// single source of truth for the splice tier below.
 	}
+	start := time.Now()
 	if !c.syncSplice() {
+		c.traceStep("splice", Unsupported, 0, start)
 		return nil, Unsupported
 	}
 	r, o := c.splice.Patch(add)
+	c.traceStep("splice", o, c.splice.touched, start)
 	switch o {
 	case Patched:
 		c.ring = append(c.ring[:0], r...)
@@ -138,12 +158,15 @@ func (c *chainPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 }
 
 func (c *chainPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
+	c.trace = c.trace[:0]
 	remove = remove.Canonical()
 	if !c.validBatch(remove) {
 		return nil, Unsupported
 	}
 	if !c.spliceOwns {
+		start := time.Now()
 		r, o := c.ffc.Unpatch(remove)
+		c.traceStep("ffc", o, c.ffc.touched, start)
 		if o != Unsupported {
 			if r != nil {
 				c.ring = append(c.ring[:0], r...)
@@ -153,12 +176,15 @@ func (c *chainPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 			return r, o
 		}
 	}
+	start := time.Now()
 	if !c.syncSplice() {
+		c.traceStep("splice", Unsupported, 0, start)
 		return nil, Unsupported
 	}
 	reduced := c.faults.Minus(remove)
 	healed := c.faults.Minus(reduced)
 	r, o := c.splice.Unpatch(remove)
+	c.traceStep("splice", o, c.splice.touched, start)
 	switch o {
 	case Readmitted:
 		// Accept only complete re-admissions: a splice heal that leaves

@@ -43,9 +43,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"debruijnring/topology"
 )
+
+// TierStep records one repair tier's attempt during a single Patch or
+// Unpatch call: which tier ran, how it answered, how much structure it
+// touched (stars re-closed for the FFC tier, arcs/insertions spliced
+// for the splice tier) and how long it took.
+type TierStep struct {
+	Tier    string        // "ffc" or "splice"
+	Outcome Outcome
+	Touched int
+	Elapsed time.Duration
+}
+
+// Tracer is implemented by patchers that record the tier ladder each
+// Patch/Unpatch call descended.  LastTrace returns the steps of the
+// most recent call; the slice is owned by the patcher and only valid
+// until the next Patch/Unpatch/Embed.
+type Tracer interface {
+	LastTrace() []TierStep
+}
 
 // Outcome classifies one Patch attempt.
 type Outcome int
@@ -167,6 +187,25 @@ type genericPatcher struct {
 	valid  bool
 	ring   []int
 	faults topology.FaultSet
+
+	// touched counts the splice operations of the most recent
+	// Patch/Unpatch (arcs reconnected, processors re-inserted); trace
+	// holds that call's TierStep for LastTrace.
+	touched int
+	trace   []TierStep
+}
+
+// LastTrace implements Tracer for the standalone splice patcher.
+func (p *genericPatcher) LastTrace() []TierStep { return p.trace }
+
+// traceCall records the single splice-tier step of one Patch/Unpatch.
+func (p *genericPatcher) traceCall(o Outcome, start time.Time) {
+	p.trace = append(p.trace[:0], TierStep{
+		Tier:    "splice",
+		Outcome: o,
+		Touched: p.touched,
+		Elapsed: time.Since(start),
+	})
 }
 
 // maxBypassLen bounds the length of one bypass path: twice the diameter
@@ -242,6 +281,14 @@ func (p *genericPatcher) Restore(state []byte, ring []int, f topology.FaultSet) 
 }
 
 func (p *genericPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
+	start := time.Now()
+	p.touched = 0
+	r, o := p.patch(add)
+	p.traceCall(o, start)
+	return r, o
+}
+
+func (p *genericPatcher) patch(add topology.FaultSet) ([]int, Outcome) {
 	if !p.valid || len(p.ring) == 0 {
 		return nil, Unsupported
 	}
@@ -322,6 +369,7 @@ func (p *genericPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 			p.valid = false
 			return nil, Unsupported
 		}
+		p.touched++
 		newRing = append(newRing, path...)
 	}
 	p.ring = newRing
@@ -341,6 +389,14 @@ func (p *genericPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 // stays off-ring (the ring remains valid; a later Embed re-balances),
 // so Unpatch never reports Unsupported for slotless heals alone.
 func (p *genericPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
+	start := time.Now()
+	p.touched = 0
+	r, o := p.unpatch(remove)
+	p.traceCall(o, start)
+	return r, o
+}
+
+func (p *genericPatcher) unpatch(remove topology.FaultSet) ([]int, Outcome) {
 	if !p.valid || len(p.ring) == 0 {
 		return nil, Unsupported
 	}
@@ -373,6 +429,7 @@ func (p *genericPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 		}
 		if p.insertHealed(v, onRing, badNode, edgeCut) {
 			changed = true
+			p.touched++
 		}
 	}
 	if !changed {

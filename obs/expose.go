@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4).  Output is deterministic: families and samples are
+// sorted lexically.
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText renders a snapshot in Prometheus text exposition format.
+// Histograms emit cumulative `le` buckets (inclusive integer upper
+// bounds) for every occupied bucket, plus `+Inf`, `_sum` and `_count`.
+func (s Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	families := map[string]string{} // family -> type
+	for k := range s.Counters {
+		families[Family(k)] = "counter"
+	}
+	for k := range s.Gauges {
+		families[Family(k)] = "gauge"
+	}
+	for k := range s.Histograms {
+		families[Family(k)] = "histogram"
+	}
+
+	names := sortedKeys(families)
+	for _, fam := range names {
+		typ := families[fam]
+		if help := s.Help[fam]; help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam)
+		bw.WriteByte(' ')
+		bw.WriteString(typ)
+		bw.WriteByte('\n')
+		switch typ {
+		case "counter":
+			writeScalarFamily(bw, fam, s.Counters)
+		case "gauge":
+			writeScalarFamily(bw, fam, s.Gauges)
+		case "histogram":
+			writeHistogramFamily(bw, fam, s.Histograms)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeScalarFamily(bw *bufio.Writer, fam string, m map[string]int64) {
+	keys := make([]string, 0, 4)
+	for k := range m {
+		if Family(k) == fam {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bw.WriteString(k)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(m[k], 10))
+		bw.WriteByte('\n')
+	}
+}
+
+func writeHistogramFamily(bw *bufio.Writer, fam string, m map[string]HistogramSnapshot) {
+	keys := make([]string, 0, 4)
+	for k := range m {
+		if Family(k) == fam {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := m[k]
+		labels := ""
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			labels = strings.TrimSuffix(k[i+1:], "}")
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b[1]
+			writeBucketLine(bw, fam, labels, strconv.FormatInt(bucketMax(int(b[0])), 10), cum)
+		}
+		// +Inf reports the bucket total, which is what the cumulative
+		// series converges to even if count races ahead mid-scrape.
+		writeBucketLine(bw, fam, labels, "+Inf", cum)
+		writeSuffixLine(bw, fam, "_sum", labels, h.Sum)
+		writeSuffixLine(bw, fam, "_count", labels, h.Count)
+	}
+}
+
+func writeBucketLine(bw *bufio.Writer, fam, labels, le string, v int64) {
+	bw.WriteString(fam)
+	bw.WriteString("_bucket{")
+	if labels != "" {
+		bw.WriteString(labels)
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+func writeSuffixLine(bw *bufio.Writer, fam, suffix, labels string, v int64) {
+	bw.WriteString(fam)
+	bw.WriteString(suffix)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus
+// text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden test for the Prometheus text exposition format: fixed
+// observations must render byte-identically, so downstream scrapers
+// can rely on family ordering, label splicing, and cumulative buckets.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("engine_requests_total", "total embed requests")
+	r.Counter("engine_requests_total").Add(12)
+	r.Gauge("engine_cache_entries").Set(3)
+	h := r.Histogram("repair_ns", "tier", "local")
+	h.Observe(5)  // unit bucket 5, max 5
+	h.Observe(20) // bucket [20,21], max 21
+	h.Observe(20)
+	h.Observe(1000) // bucket [960,1023]
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE engine_cache_entries gauge
+engine_cache_entries 3
+# HELP engine_requests_total total embed requests
+# TYPE engine_requests_total counter
+engine_requests_total 12
+# TYPE repair_ns histogram
+repair_ns_bucket{tier="local",le="5"} 1
+repair_ns_bucket{tier="local",le="21"} 3
+repair_ns_bucket{tier="local",le="1023"} 4
+repair_ns_bucket{tier="local",le="+Inf"} 4
+repair_ns_sum{tier="local"} 1045
+repair_ns_count{tier="local"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// The histogram is log-linear (HDR-style): each power-of-two octave is
+// split into 2^histSubBits equal-width sub-buckets, so the bucket width
+// is at most 1/2^histSubBits of the bucket's lower bound (12.5% with
+// histSubBits=3).  Values below 2^histSubBits land in exact unit-width
+// buckets.  Bucket boundaries are fixed by the scheme constant, which
+// makes cross-shard merging exact: two histograms with the same scheme
+// can be combined bucket-by-bucket with no re-binning error.
+const (
+	// HistScheme versions the bucket layout.  Snapshots carry it and
+	// Merge refuses to combine snapshots from different schemes.
+	HistScheme = 1
+
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits // sub-buckets per octave
+	histMaxExp   = 62               // non-negative int64 top bit
+	numBuckets   = (histMaxExp-histSubBits+1)*histSubCount + histSubCount
+)
+
+// Histogram is a lock-free log-linear histogram over non-negative
+// int64 observations (negative values are clamped to zero).  Observe
+// is three atomic adds: no locks, no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket.  Values < histSubCount get
+// exact unit buckets; above that, the octave (from bits.Len64) picks
+// the block and the top histSubBits bits below the leading bit pick
+// the sub-bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	exp := uint(bits.Len64(u) - 1) // >= histSubBits
+	sub := (u >> (exp - histSubBits)) & (histSubCount - 1)
+	return int(exp-histSubBits+1)*histSubCount + int(sub)
+}
+
+// bucketLower returns the inclusive lower bound of bucket idx.
+func bucketLower(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	block := idx/histSubCount - 1
+	sub := idx % histSubCount
+	exp := uint(block) + histSubBits
+	return int64(uint64(1)<<exp + uint64(sub)<<(exp-histSubBits))
+}
+
+// bucketMax returns the inclusive upper bound of bucket idx.
+func bucketMax(idx int) int64 {
+	if idx+1 >= numBuckets {
+		return math.MaxInt64
+	}
+	return bucketLower(idx+1) - 1
+}
+
+// bucketMid returns the representative value reported for a bucket:
+// the midpoint, which bounds the quantile error by half the bucket
+// width (and is exact in the unit-width region).
+func bucketMid(idx int) int64 {
+	lo := bucketLower(idx)
+	hi := bucketMax(idx)
+	return lo + (hi-lo)/2
+}
+
+// Observe records one value.  Safe for concurrent use; nil-safe so
+// callers can leave metrics unwired.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) with
+// relative error bounded by the bucket width (≤ 2^-histSubBits of the
+// true value, exact below 2^histSubBits).  Returns 0 on an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot captures the histogram into a mergeable, JSON-serialisable
+// form.  Buckets are stored sparsely as [index, count] pairs in
+// ascending index order.  A snapshot taken concurrently with writers
+// is internally consistent per bucket but count/sum may momentarily
+// lead or lag the bucket totals; quantiles are computed from the
+// bucket totals so they are always self-consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Scheme: HistScheme}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, [2]int64{int64(i), n})
+		}
+	}
+	return s
+}
+
+// HistogramSnapshot is the wire form of a Histogram.
+type HistogramSnapshot struct {
+	Scheme  int        `json:"scheme"`
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Buckets [][2]int64 `json:"buckets,omitempty"` // sparse [index, count], ascending
+}
+
+// Quantile computes the q-quantile from the snapshot's buckets with
+// the same error bound as Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	var total int64
+	for _, b := range s.Buckets {
+		total += b[1]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b[1]
+		if cum >= rank {
+			return bucketMid(int(b[0]))
+		}
+	}
+	return bucketMid(int(s.Buckets[len(s.Buckets)-1][0]))
+}
+
+// Mean returns the arithmetic mean of the observations, 0 if empty.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// MergeHistograms combines snapshots bucket-by-bucket.  Because the
+// bucket boundaries are fixed per scheme the merge is exact: merging
+// shard-local snapshots yields byte-identical buckets to a single
+// histogram that observed the union of the values.  Snapshots with
+// mismatched schemes are rejected.
+func MergeHistograms(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	out := HistogramSnapshot{Scheme: HistScheme}
+	acc := map[int64]int64{}
+	for _, s := range snaps {
+		if len(s.Buckets) == 0 && s.Count == 0 {
+			continue // empty snapshots merge regardless of scheme
+		}
+		if s.Scheme != HistScheme {
+			return out, fmt.Errorf("obs: histogram scheme mismatch: %d != %d", s.Scheme, HistScheme)
+		}
+		out.Count += s.Count
+		out.Sum += s.Sum
+		for _, b := range s.Buckets {
+			acc[b[0]] += b[1]
+		}
+	}
+	if len(acc) > 0 {
+		out.Buckets = make([][2]int64, 0, len(acc))
+		for idx, n := range acc {
+			out.Buckets = append(out.Buckets, [2]int64{idx, n})
+		}
+		sortBucketPairs(out.Buckets)
+	}
+	return out, nil
+}
+
+func sortBucketPairs(b [][2]int64) {
+	// Insertion sort: bucket lists are short (≤ numBuckets) and
+	// usually nearly sorted already.
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j][0] < b[j-1][0]; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}

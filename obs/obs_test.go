@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, numBuckets)
+		}
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if lo, hi := bucketLower(idx), bucketMax(idx); v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d,%d]", v, idx, lo, hi)
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+func TestBucketBoundsContiguous(t *testing.T) {
+	for idx := 0; idx < numBuckets-1; idx++ {
+		if bucketMax(idx)+1 != bucketLower(idx+1) {
+			t.Fatalf("gap between bucket %d (max %d) and %d (lower %d)",
+				idx, bucketMax(idx), idx+1, bucketLower(idx+1))
+		}
+	}
+}
+
+// Quantile estimates must stay within one bucket width of the true
+// order statistic: relative error ≤ 2^-histSubBits for large values,
+// exact below 2^histSubBits.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	values := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mix of magnitudes: exercise the unit region and several octaves.
+		var v int64
+		switch i % 3 {
+		case 0:
+			v = rng.Int63n(histSubCount)
+		case 1:
+			v = rng.Int63n(100_000)
+		default:
+			v = rng.Int63n(10_000_000_000)
+		}
+		values = append(values, v)
+		h.Observe(v)
+	}
+	sortInt64s(values)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		rank := int(math.Ceil(q * float64(len(values))))
+		if rank < 1 {
+			rank = 1
+		}
+		want := values[rank-1]
+		var bound float64
+		if want >= histSubCount {
+			bound = float64(want) / float64(histSubCount) // one bucket width
+		} else {
+			bound = 0 // unit-width region is exact
+		}
+		if math.Abs(float64(got-want)) > bound {
+			t.Errorf("q=%v: got %d want %d (±%v)", q, got, want, bound)
+		}
+	}
+	if h.Count() != int64(len(values)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(values))
+	}
+}
+
+func sortInt64s(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Merging shard-local histograms must be exact and associative:
+// merge(a, merge(b, c)) == merge(merge(a, b), c) == one histogram that
+// saw every value.
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all, ha, hb, hc Histogram
+	parts := []*Histogram{&ha, &hb, &hc}
+	for i := 0; i < 9000; i++ {
+		v := rng.Int63n(1_000_000_000)
+		all.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	a, b, c := ha.Snapshot(), hb.Snapshot(), hc.Snapshot()
+
+	bc, err := MergeHistograms(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := MergeHistograms(a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := MergeHistograms(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := MergeHistograms(ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := all.Snapshot()
+	for name, got := range map[string]HistogramSnapshot{"left-assoc": left, "right-assoc": right} {
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Fatalf("%s: count/sum = %d/%d, want %d/%d", name, got.Count, got.Sum, want.Count, want.Sum)
+		}
+		if len(got.Buckets) != len(want.Buckets) {
+			t.Fatalf("%s: %d buckets, want %d", name, len(got.Buckets), len(want.Buckets))
+		}
+		for i := range got.Buckets {
+			if got.Buckets[i] != want.Buckets[i] {
+				t.Fatalf("%s: bucket %d = %v, want %v", name, i, got.Buckets[i], want.Buckets[i])
+			}
+		}
+	}
+
+	if _, err := MergeHistograms(a, HistogramSnapshot{Scheme: 99, Count: 1, Buckets: [][2]int64{{0, 1}}}); err == nil {
+		t.Fatal("merging mismatched schemes must fail")
+	}
+	if _, err := MergeHistograms(a, HistogramSnapshot{}); err != nil {
+		t.Fatalf("empty snapshots must merge regardless of scheme: %v", err)
+	}
+}
+
+func TestRegistryMergeCountersAndGauges(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("reqs_total").Add(3)
+	r2.Counter("reqs_total").Add(4)
+	r1.Gauge("live").Set(5)
+	r2.Gauge("live").Set(7)
+	r1.Histogram("lat_ns", "tier", "local").Observe(100)
+	r2.Histogram("lat_ns", "tier", "local").Observe(200)
+	r1.SetHelp("reqs_total", "total requests")
+
+	m, err := Merge(r1.Snapshot(), r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["reqs_total"] != 7 {
+		t.Fatalf("merged counter = %d, want 7", m.Counters["reqs_total"])
+	}
+	if m.Gauges["live"] != 12 {
+		t.Fatalf("merged gauge = %d, want 12", m.Gauges["live"])
+	}
+	h := m.Histograms[Key("lat_ns", "tier", "local")]
+	if h.Count != 2 || h.Sum != 300 {
+		t.Fatalf("merged histogram count/sum = %d/%d, want 2/300", h.Count, h.Sum)
+	}
+	if m.Help["reqs_total"] != "total requests" {
+		t.Fatalf("help lost in merge: %q", m.Help["reqs_total"])
+	}
+}
+
+// Concurrent writers plus snapshots under -race: every observation
+// must land exactly once.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() { // concurrent scraper
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			h := reg.Histogram("conc_ns")
+			c := reg.Counter("conc_total")
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(done)
+	s := reg.Snapshot()
+	if got := s.Histograms["conc_ns"].Count; got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	var bucketTotal int64
+	for _, b := range s.Histograms["conc_ns"].Buckets {
+		bucketTotal += b[1]
+	}
+	if bucketTotal != writers*perWriter {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, writers*perWriter)
+	}
+	if s.Counters["conc_total"] != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", s.Counters["conc_total"], writers*perWriter)
+	}
+}
+
+func TestKeyAndFamily(t *testing.T) {
+	if got := Key("a_total"); got != "a_total" {
+		t.Fatalf("Key no labels = %q", got)
+	}
+	k := Key("lat_ns", "tier", "local", "shard", "g0")
+	if k != `lat_ns{tier="local",shard="g0"}` {
+		t.Fatalf("Key = %q", k)
+	}
+	if Family(k) != "lat_ns" {
+		t.Fatalf("Family = %q", Family(k))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(3)
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	r.Snapshot() // must not panic
+}

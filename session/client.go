@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"debruijnring/obs"
 )
 
 // ErrDraining marks a 503 carrying the fleet's draining marker: the
@@ -20,6 +22,12 @@ import (
 // expected choreography, not a failure.  Callers (the chaos driver)
 // count these separately via the client's DrainRetries counter.
 var ErrDraining = errors.New("session: draining (fleet rebalance in progress)")
+
+// ErrTorn marks a response whose body was cut off mid-decode (e.g. the
+// old owner dropping connections as a drain flips routing).  Idempotent
+// GETs wrap their decode error in it and retry; the client counts these
+// separately via TornRetries.
+var ErrTorn = errors.New("session: torn response")
 
 // Client talks to the /v1/sessions API of a ringsrv instance or a
 // ringfleet router — the programmatic counterpart of the HTTP handler,
@@ -47,13 +55,40 @@ type Client struct {
 	// RetryCap bounds one backoff delay (default 1s).
 	RetryCap time.Duration
 
+	// Metrics, when set, mirrors the retry counters into the registry
+	// as session_client_retries_total{kind="transient"|"drain"|"torn"},
+	// so drivers and tests can read them from a metrics snapshot
+	// instead of scraping the struct fields.
+	Metrics *obs.Registry
+
 	// Retries counts retried attempts (transport errors and gateway
 	// statuses); DrainRetries counts the subset caused by a fleet
 	// rebalance draining the session (ErrDraining), which is expected
-	// choreography rather than a fault.  Both are cumulative over the
-	// client's lifetime.
+	// choreography rather than a fault; TornRetries counts idempotent
+	// GETs replayed after a response died mid-body (ErrTorn).  All are
+	// cumulative over the client's lifetime.
 	Retries      atomic.Int64
 	DrainRetries atomic.Int64
+	TornRetries  atomic.Int64
+}
+
+// countRetry classifies one retried attempt into the struct counters
+// and (when wired) the metrics registry.
+func (c *Client) countRetry(err error) {
+	kind := "transient"
+	switch {
+	case errors.Is(err, ErrDraining):
+		c.DrainRetries.Add(1)
+		kind = "drain"
+	case errors.Is(err, ErrTorn):
+		c.TornRetries.Add(1)
+		kind = "torn"
+	default:
+		c.Retries.Add(1)
+	}
+	if c.Metrics != nil {
+		c.Metrics.Counter("session_client_retries_total", "kind", kind).Inc()
+	}
 }
 
 // defaultHTTP backs clients that don't bring their own http.Client.
@@ -123,11 +158,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, dst any) err
 		if ctx.Err() != nil || !retryable {
 			return err
 		}
-		if errors.Is(err, ErrDraining) {
-			c.DrainRetries.Add(1)
-		} else {
-			c.Retries.Add(1)
-		}
+		c.countRetry(err)
 		lastErr = err
 	}
 	return lastErr
@@ -206,10 +237,13 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, d
 	}
 	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
 		// A connection reset mid-body surfaces here rather than in Do.
-		// GETs are idempotent, so a torn response (e.g. the old owner
-		// dropping connections as a drain flips routing) is retried;
-		// mutations are not, since the server may have applied them.
-		return method == http.MethodGet, err
+		// GETs are idempotent, so a torn response is retried (wrapped in
+		// ErrTorn so the retry is counted as such); mutations are not,
+		// since the server may have applied them.
+		if method == http.MethodGet {
+			return true, fmt.Errorf("%w: %v", ErrTorn, err)
+		}
+		return false, err
 	}
 	return false, nil
 }
@@ -264,6 +298,20 @@ func (c *Client) applyFaults(ctx context.Context, method, name string, req Fault
 		if out.Event.Kind != "" {
 			return &out, err
 		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trace fetches the session's retained repair trace records (limit <= 0
+// returns every retained record).
+func (c *Client) Trace(ctx context.Context, name string, limit int) (*TraceResponse, error) {
+	path := "/v1/sessions/" + url.PathEscape(name) + "/trace"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out TraceResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

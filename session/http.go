@@ -22,6 +22,7 @@ import (
 //	DELETE /v1/sessions/{name}/faults  re-admit one repaired batch (heal)
 //	GET    /v1/sessions/{name}/watch   stream events: long-poll (?after=N&wait=30s)
 //	                                   or SSE with Accept: text/event-stream
+//	GET    /v1/sessions/{name}/trace   recent repair traces (?limit=N), newest-bounded
 //
 // Fault and heal responses carry the event's "repair" field naming the
 // ladder tier that served it: "local" (structural surgery), "splice"
@@ -38,6 +39,7 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{name}/faults", h.addFaults)
 	mux.HandleFunc("DELETE /v1/sessions/{name}/faults", h.removeFaults)
 	mux.HandleFunc("GET /v1/sessions/{name}/watch", h.watch)
+	mux.HandleFunc("GET /v1/sessions/{name}/trace", h.trace)
 	return mux
 }
 
@@ -219,6 +221,37 @@ func (h *handler) applyFaults(w http.ResponseWriter, r *http.Request, apply func
 		return
 	}
 	writeJSON(w, FaultsResponse{Event: *ev, State: h.stateJSON(s, false)})
+}
+
+// TraceResponse is the GET /v1/sessions/{name}/trace payload: the
+// session's retained repair traces, oldest first.
+type TraceResponse struct {
+	Name    string        `json:"name"`
+	Records []TraceRecord `json:"records"`
+}
+
+// trace serves the session's retained per-event repair traces: tier
+// descents with outcomes, touched-structure counts and latencies.
+// ?limit=N bounds the result to the N most recent records.
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	s, ok := h.session(w, r)
+	if !ok {
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	recs := s.Traces(limit)
+	if recs == nil {
+		recs = []TraceRecord{}
+	}
+	writeJSON(w, TraceResponse{Name: s.Name(), Records: recs})
 }
 
 // maxWatchWait caps one long-poll (clients re-issue the request).

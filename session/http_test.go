@@ -278,3 +278,69 @@ func TestHTTPRejectedBatchReturnsEvent(t *testing.T) {
 		t.Errorf("session ring changed after rejection: %v", err)
 	}
 }
+
+// TestHTTPTraceEndpoint drives fault and heal batches through a De
+// Bruijn session and asserts the trace endpoint reports the tier
+// descents: every ring-changing event retains a record whose tiers
+// name the ladder rungs that ran, and ?limit bounds the result.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	if _, err := c.Create(ctx, CreateRequest{Name: "tr", Topology: "debruijn(2,6)"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddFaults(ctx, "tr", FaultsRequest{NodeFaults: []string{"000001"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RemoveFaults(ctx, "tr", FaultsRequest{NodeFaults: []string{"000001"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := c.Trace(ctx, "tr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "tr" || len(tr.Records) != 2 {
+		t.Fatalf("trace = %+v, want 2 records", tr)
+	}
+	fault, heal := tr.Records[0], tr.Records[1]
+	if fault.Kind != "fault" || heal.Kind != "heal" {
+		t.Errorf("record kinds = %q, %q", fault.Kind, heal.Kind)
+	}
+	for _, rec := range tr.Records {
+		if len(rec.Tiers) == 0 {
+			t.Fatalf("record seq %d has no tier trace", rec.Seq)
+		}
+		if rec.Tiers[0].Tier != "ffc" {
+			t.Errorf("seq %d: first tier = %q, want ffc (De Bruijn chain)", rec.Seq, rec.Tiers[0].Tier)
+		}
+		if rec.Repair == "local" && rec.Tiers[0].Touched == 0 {
+			t.Errorf("seq %d: local repair touched no stars", rec.Seq)
+		}
+		if rec.ElapsedNs <= 0 {
+			t.Errorf("seq %d: elapsed = %d", rec.Seq, rec.ElapsedNs)
+		}
+	}
+
+	// The watch stream carries the same tier tags on its events.
+	wr, err := c.Watch(ctx, "tr", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTiers bool
+	for _, ev := range wr.Events {
+		if len(ev.Tiers) > 0 {
+			sawTiers = true
+		}
+	}
+	if !sawTiers {
+		t.Error("watch events carry no tier traces")
+	}
+
+	limited, err := c.Trace(ctx, "tr", 1)
+	if err != nil || len(limited.Records) != 1 || limited.Records[0].Kind != "heal" {
+		t.Fatalf("limited trace = %+v, %v", limited, err)
+	}
+}

@@ -30,6 +30,10 @@ type Options struct {
 	// EventBuffer is the per-session count of retained events served to
 	// watchers (default 256).
 	EventBuffer int
+	// TraceBuffer is the per-session count of retained repair trace
+	// records served by GET /v1/sessions/{name}/trace (default 128;
+	// negative disables trace retention).
+	TraceBuffer int
 }
 
 // Manager owns the live sessions of one process and their journals.
@@ -51,6 +55,9 @@ func NewManager(eng *engine.Engine, opts Options) *Manager {
 	}
 	if opts.EventBuffer <= 0 {
 		opts.EventBuffer = 256
+	}
+	if opts.TraceBuffer == 0 {
+		opts.TraceBuffer = 128
 	}
 	store := opts.Store
 	if store == nil && opts.Dir != "" {

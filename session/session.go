@@ -69,6 +69,12 @@ type Event struct {
 	RemoveEdges [][2]int `json:"remove_edges,omitempty"`
 	Repair      string   `json:"repair,omitempty"`
 	Error       string   `json:"error,omitempty"`
+	// Tiers is the repair-tier descent that produced Repair: each rung
+	// of the FFC → splice → re-embed ladder that ran, with its outcome,
+	// touched-structure count and latency.  Carried on journal lines
+	// and watch/SSE payloads; replay ignores it (ring hashes are the
+	// determinism check).
+	Tiers []TierTrace `json:"tiers,omitempty"`
 
 	// Ring bookkeeping after the event: length, the paper's lower bound,
 	// cumulative deduplicated fault count, and an FNV-64a hash of the
@@ -147,6 +153,10 @@ type Session struct {
 	// is closed and replaced on every publish.
 	events []Event
 	notify chan struct{}
+
+	// traces is a bounded buffer of per-event repair traces for the
+	// trace endpoint (live events only; replay does not refill it).
+	traces []TraceRecord
 }
 
 // Name returns the session's unique name.
@@ -308,7 +318,9 @@ func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event,
 		ev.Repair = "noop"
 	default:
 		if s.withinToleranceLocked(combined) {
-			if r, outcome := s.patcher.Patch(newOnly); outcome == repair.Noop {
+			r, outcome := s.patcher.Patch(newOnly)
+			ev.Tiers = tierTraces(s.patcher)
+			if outcome == repair.Noop {
 				ev.Repair = "noop"
 			} else if (outcome == repair.Patched || outcome == repair.Reordered || outcome == repair.Spliced) &&
 				topology.VerifyRing(s.net, r, combined) &&
@@ -321,14 +333,18 @@ func (s *Session) applyFaultsLocked(add topology.FaultSet, record bool) (*Event,
 			}
 		}
 		if ev.Repair == "" {
+			embedStart := time.Now()
 			r, info, err := s.patcher.Embed(combined)
+			step := TierTrace{Tier: "reembed", Outcome: "ok", ElapsedNs: time.Since(embedStart).Nanoseconds()}
 			if err != nil {
 				embedErr = err
+				step.Outcome = "error"
 			} else {
 				ev.Repair = "reembed"
 				ring = r
 				s.rounds = info.Rounds
 			}
+			ev.Tiers = append(ev.Tiers, step)
 		}
 	}
 
@@ -396,7 +412,9 @@ func (s *Session) applyHealLocked(remove topology.FaultSet, record bool) (*Event
 		ev.Repair = "noop"
 	default:
 		if s.withinToleranceLocked(reduced) {
-			if r, outcome := s.patcher.Unpatch(healed); outcome == repair.Noop {
+			r, outcome := s.patcher.Unpatch(healed)
+			ev.Tiers = tierTraces(s.patcher)
+			if outcome == repair.Noop {
 				ev.Repair = "noop"
 			} else if (outcome == repair.Readmitted || outcome == repair.Spliced) &&
 				topology.VerifyRing(s.net, r, reduced) &&
@@ -409,14 +427,18 @@ func (s *Session) applyHealLocked(remove topology.FaultSet, record bool) (*Event
 			}
 		}
 		if ev.Repair == "" {
+			embedStart := time.Now()
 			r, info, err := s.patcher.Embed(reduced)
+			step := TierTrace{Tier: "reembed", Outcome: "ok", ElapsedNs: time.Since(embedStart).Nanoseconds()}
 			if err != nil {
 				embedErr = err
+				step.Outcome = "error"
 			} else {
 				ev.Repair = "reembed"
 				ring = r
 				s.rounds = info.Rounds
 			}
+			ev.Tiers = append(ev.Tiers, step)
 		}
 	}
 
@@ -476,7 +498,8 @@ func (s *Session) lowerBoundFor(f topology.FaultSet) int {
 }
 
 // finishEventLocked stamps, sequences, publishes and (when record is
-// set) journals one event and feeds the engine's session counters.
+// set) journals one event, retains its repair trace and feeds the
+// engine's session counters and per-tier latency histograms.
 func (s *Session) finishEventLocked(ev *Event, start time.Time, record bool, kind engine.RepairKind) {
 	s.seq++
 	ev.Seq = s.seq
@@ -486,9 +509,10 @@ func (s *Session) finishEventLocked(ev *Event, start time.Time, record bool, kin
 	s.sinceSnap++
 	s.publishLocked(*ev)
 	if record {
+		s.recordTraceLocked(ev)
 		s.appendJournal(*ev)
 		if s.mgr != nil && s.mgr.eng != nil {
-			s.mgr.eng.RecordRepair(kind)
+			s.mgr.eng.RecordRepair(kind, time.Duration(ev.ElapsedNs))
 		}
 	}
 }
