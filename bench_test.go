@@ -117,6 +117,42 @@ func BenchmarkProp23(b *testing.B) {
 	}
 }
 
+// BenchmarkEmbedParallelSerial and BenchmarkEmbedParallel measure one
+// cold FFC embed of the 65536-node B(2,16) — the large-instance class
+// the session fleet re-embeds on splice exhaustion — with the Step 1.1
+// broadcast BFS serial versus sharded across GOMAXPROCS workers.  The
+// two are bit-identical in output (TestEmbedParallelDeterminism), so on
+// 1-core CI hosts they must also run neck and neck: the parallel
+// benchmark is gated to pin the determinism machinery's overhead near
+// zero, not to demonstrate speedup (see PERF.md for the caveat).
+func BenchmarkEmbedParallelSerial(b *testing.B) {
+	benchmarkEmbedWorkers(b, 1)
+}
+
+func BenchmarkEmbedParallel(b *testing.B) {
+	benchmarkEmbedWorkers(b, 0)
+}
+
+func benchmarkEmbedWorkers(b *testing.B, workers int) {
+	g := debruijn.New(2, 16)
+	em := ffc.NewEmbedder(g)
+	em.Workers = workers
+	faults := []int{12345}
+	// Warm the pooled scratch (comp/dist/order growth is a one-time
+	// cost) so B/op and allocs/op reflect the steady-state embed at the
+	// CI job's tiny -benchtime, matching the repair benchmarks below.
+	if _, err := em.Embed(faults); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := em.Embed(faults)
+		if err != nil || len(res.Cycle) < g.Size-(g.N+1) {
+			b.Fatal("bound violated")
+		}
+	}
+}
+
 // BenchmarkRepairUnpatch measures the incremental lifecycle round trip
 // on B(2,10): one local fault patch plus one local heal un-patch (the
 // session hot path for a fault that is later repaired).  Contrast with

@@ -17,7 +17,11 @@
 // any benchmark present in both whose ns/op regressed by more than
 // -tolerance (a fraction; 0.25 = +25%) fails the run with exit status 1
 // — the regression gate of the CI bench job.  Allocation counts are
-// machine-independent and gated strictly at the same tolerance.
+// machine-independent and gated strictly at the same tolerance; bytes
+// per op are gated at the separate, looser -bytes-tolerance (short CI
+// runs amortize one-time pool growth over fewer iterations, so B/op
+// needs more headroom than allocs/op — the gate still catches the
+// order-of-magnitude map-rebuild regressions it exists for).
 package main
 
 import (
@@ -64,8 +68,17 @@ type Report struct {
 //
 //	BenchmarkTable21-8   3   34624236 ns/op   9878968 B/op   11386 allocs/op
 //	BenchmarkCopy        5   1234 ns/op       812.44 MB/s
-var benchLine = regexp.MustCompile(
-	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//
+// B/op and allocs/op are extracted separately so custom b.ReportMetric
+// units (e.g. FleetRebalance's drainretries/op) sitting between ns/op
+// and the -benchmem columns don't silently drop them from the artifact.
+var (
+	benchLine = regexp.MustCompile(
+		`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	mbLine     = regexp.MustCompile(`\s([\d.]+) MB/s`)
+	bytesLine  = regexp.MustCompile(`\s(\d+) B/op`)
+	allocsLine = regexp.MustCompile(`\s(\d+) allocs/op`)
+)
 
 func main() {
 	bench := flag.String("bench", "Table21|Table22", "benchmark regexp passed to go test -bench")
@@ -76,6 +89,7 @@ func main() {
 	label := flag.String("label", "", "free-form label recorded in the artifact (e.g. baseline, dense)")
 	compare := flag.String("compare", "", "baseline artifact to gate against (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op and allocs/op regression vs the baseline")
+	bytesTolerance := flag.Float64("bytes-tolerance", 0.5, "allowed fractional bytes/op regression vs the baseline")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
@@ -118,14 +132,14 @@ func main() {
 		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark")}
 		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.MBPerS, _ = strconv.ParseFloat(m[4], 64)
+		if mm := mbLine.FindStringSubmatch(line); mm != nil {
+			b.MBPerS, _ = strconv.ParseFloat(mm[1], 64)
 		}
-		if m[5] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if mm := bytesLine.FindStringSubmatch(line); mm != nil {
+			b.BytesPerOp, _ = strconv.ParseInt(mm[1], 10, 64)
 		}
-		if m[6] != "" {
-			b.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		if mm := allocsLine.FindStringSubmatch(line); mm != nil {
+			b.AllocsPerOp, _ = strconv.ParseInt(mm[1], 10, 64)
 		}
 		report.Benchmarks = append(report.Benchmarks, b)
 	}
@@ -151,7 +165,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		regressions, err := compareBaseline(*compare, report, *tolerance)
+		regressions, err := compareBaseline(*compare, report, *tolerance, *bytesTolerance)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -170,9 +184,10 @@ func main() {
 
 // compareBaseline gates the fresh report against a baseline artifact:
 // benchmarks present in both must not regress in ns/op or allocs/op by
-// more than the tolerance fraction.  Benchmarks that exist on only one
+// more than the tolerance fraction, nor in bytes/op by more than the
+// (looser) bytesTolerance fraction.  Benchmarks that exist on only one
 // side are ignored (the bench suite may grow or shrink between commits).
-func compareBaseline(path string, report Report, tolerance float64) ([]string, error) {
+func compareBaseline(path string, report Report, tolerance, bytesTolerance float64) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -203,6 +218,12 @@ func compareBaseline(path string, report Report, tolerance float64) ([]string, e
 				"%s: %d allocs/op vs baseline %d (%+.0f%%)",
 				b.Name, b.AllocsPerOp, ref.AllocsPerOp,
 				100*(float64(b.AllocsPerOp)/float64(ref.AllocsPerOp)-1)))
+		}
+		if ref.BytesPerOp > 0 && float64(b.BytesPerOp) > float64(ref.BytesPerOp)*(1+bytesTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d B/op vs baseline %d (%+.0f%%)",
+				b.Name, b.BytesPerOp, ref.BytesPerOp,
+				100*(float64(b.BytesPerOp)/float64(ref.BytesPerOp)-1)))
 		}
 	}
 	if matched == 0 {

@@ -28,6 +28,12 @@ type Options struct {
 	// CacheSize is the LRU capacity in (topology, fault set) entries;
 	// 0 means DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// EmbedWorkers bounds the *intra-embed* frontier parallelism of
+	// adapters that support it (topology.EmbedWorkerSetter — the De
+	// Bruijn FFC broadcast BFS): 0 means GOMAXPROCS, 1 serial.  Output
+	// is bit-identical at any setting.  Orthogonal to Workers, which
+	// bounds how many embeds run concurrently.
+	EmbedWorkers int
 	// Registry receives the engine's metrics (request latency
 	// histogram, per-tier repair histograms, cache counters).  Nil
 	// creates a private registry, reachable via Engine.Registry.
@@ -40,7 +46,8 @@ const DefaultCacheSize = 512
 // Engine embeds fault-free rings concurrently with memoization.  It is
 // safe for concurrent use.
 type Engine struct {
-	workers int
+	workers      int
+	embedWorkers int
 
 	reg     *obs.Registry
 	latHist *obs.Histogram // engine_request_ns
@@ -85,7 +92,7 @@ func New(opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	e := &Engine{workers: workers, cache: cache, inflight: make(map[string]*flight), reg: reg}
+	e := &Engine{workers: workers, embedWorkers: opts.EmbedWorkers, cache: cache, inflight: make(map[string]*flight), reg: reg}
 	reg.SetHelp("engine_request_ns", "embed request latency (cache hits included, failures excluded)")
 	reg.SetHelp("session_repair_ns", "session fault-event latency by resolving repair tier")
 	reg.SetHelp("session_repair_total", "session fault events by resolving repair tier")
@@ -483,13 +490,23 @@ func (e *Engine) Stats() EngineStats {
 }
 
 func (e *Engine) resolve(req Request) (topology.RingEmbedder, error) {
-	if req.Network != nil {
-		return req.Network, nil
+	net := req.Network
+	if net == nil {
+		if req.Spec == "" {
+			return nil, fmt.Errorf("engine: request names no network (set Network or Spec)")
+		}
+		var err error
+		if net, err = topology.FromSpec(req.Spec); err != nil {
+			return nil, err
+		}
 	}
-	if req.Spec == "" {
-		return nil, fmt.Errorf("engine: request names no network (set Network or Spec)")
+	// Propagate the intra-embed worker setting to adapters that shard
+	// internally (idempotent atomic store; FromSpec memoizes adapters, so
+	// this also covers networks resolved before the engine existed).
+	if s, ok := net.(topology.EmbedWorkerSetter); ok {
+		s.SetEmbedWorkers(e.embedWorkers)
 	}
-	return topology.FromSpec(req.Spec)
+	return net, nil
 }
 
 // result assembles a Result, copying the ring so cached slices cannot be

@@ -1,0 +1,164 @@
+package ffc
+
+// Determinism harness for the frontier-parallel Step 1.1 broadcast: the
+// parallel BFS must be bit-identical to the serial scan — same ring,
+// same necklace tree, same eccentricity, same overrides — for every
+// worker count, because sessions journal rings by hash and replicas
+// replay them.  The tests force the worker pool onto small instances by
+// lowering the parallel threshold, so `go test -race ./internal/ffc/`
+// exercises the real worker/merge code paths.
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"debruijnring/internal/debruijn"
+)
+
+// resultHash canonically hashes the observable embedding output (ring,
+// eccentricity, tree, overrides) — the same identity sessions rely on
+// when journaled rings are hash-verified across replicas.
+func resultHash(res *Result) uint64 {
+	h := fnv.New64a()
+	wr := func(vs ...int) {
+		var b [8]byte
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				b[i] = byte(uint64(v) >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	wr(res.Root, res.BStarSize, res.Eccentricity, len(res.Cycle))
+	wr(res.Cycle...)
+	reps := make([]int, 0, len(res.Tree))
+	for rep := range res.Tree {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	for _, rep := range reps {
+		e := res.Tree[rep]
+		wr(rep, e.Parent, e.W)
+	}
+	outs := make([]int, 0, len(res.Overrides))
+	for o := range res.Overrides {
+		outs = append(outs, o)
+	}
+	sort.Ints(outs)
+	for _, o := range outs {
+		wr(o, res.Overrides[o])
+	}
+	return h.Sum64()
+}
+
+func randomFaults(rng *rand.Rand, size, nf int) []int {
+	faults := make([]int, 0, nf)
+	for len(faults) < nf {
+		faults = append(faults, rng.IntN(size))
+	}
+	return faults
+}
+
+func TestEmbedParallelDeterminism(t *testing.T) {
+	grid := []struct{ d, n int }{{2, 6}, {2, 8}, {2, 10}, {3, 5}, {4, 4}}
+	for _, tc := range grid {
+		g := debruijn.New(tc.d, tc.n)
+		rng := rand.New(rand.NewPCG(uint64(tc.d), uint64(tc.n)))
+		for trial := 0; trial < 4; trial++ {
+			faults := randomFaults(rng, g.Size, trial)
+
+			serial := NewEmbedder(g)
+			serial.Workers = 1
+			want, wantErr := serial.Embed(faults)
+
+			// Threshold 1 puts every level through the worker pool;
+			// threshold 8 mixes serial shallow levels with parallel deep
+			// ones — both must replay the serial output exactly.
+			for _, threshold := range []int{1, 8} {
+				for _, w := range []int{1, 2, 4, 8} {
+					em := NewEmbedder(g)
+					em.Workers = w
+					em.parallelFrontier = threshold
+					got, err := em.Embed(faults)
+					if (err != nil) != (wantErr != nil) {
+						t.Fatalf("B(%d,%d) faults=%v workers=%d threshold=%d: err=%v, serial err=%v",
+							tc.d, tc.n, faults, w, threshold, err, wantErr)
+					}
+					if err != nil {
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("B(%d,%d) faults=%v workers=%d threshold=%d: result diverges from serial",
+							tc.d, tc.n, faults, w, threshold)
+					}
+					if resultHash(got) != resultHash(want) {
+						t.Fatalf("B(%d,%d) faults=%v workers=%d threshold=%d: hash diverges from serial",
+							tc.d, tc.n, faults, w, threshold)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedParallelScratchReuse drives one pooled embedder through many
+// parallel embeddings (the adapter-pool usage pattern) and pins each
+// against a fresh serial run: epoch-stamped scratch reuse must not leak
+// state between runs at any worker count.
+func TestEmbedParallelScratchReuse(t *testing.T) {
+	g := debruijn.New(2, 9)
+	em := NewEmbedder(g)
+	em.Workers = 4
+	em.parallelFrontier = 1
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 12; trial++ {
+		faults := randomFaults(rng, g.Size, trial%3)
+		serial := NewEmbedder(g)
+		serial.Workers = 1
+		want, wantErr := serial.Embed(faults)
+		got, err := em.Embed(faults)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("trial %d faults=%v: err=%v, serial err=%v", trial, faults, err, wantErr)
+		}
+		if err == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d faults=%v: reused parallel embedder diverges from fresh serial", trial, faults)
+		}
+	}
+}
+
+// TestEmbedEccentricityMatchesLegacy pins the explicit level-depth
+// eccentricity against the legacy map-based broadcast.  The old code
+// read the distance of the *last visited* node, which is only correct
+// under strict level order — any frontier-merge reordering would have
+// silently misreported it; the explicit counter cannot.
+func TestEmbedEccentricityMatchesLegacy(t *testing.T) {
+	grid := []struct{ d, n int }{{2, 8}, {2, 10}, {3, 5}, {4, 4}}
+	for _, tc := range grid {
+		g := debruijn.New(tc.d, tc.n)
+		rng := rand.New(rand.NewPCG(uint64(tc.n), uint64(tc.d)))
+		for trial := 0; trial < 4; trial++ {
+			faults := randomFaults(rng, g.Size, trial)
+			em := NewEmbedder(g)
+			em.Workers = 4
+			em.parallelFrontier = 1
+			res, err := em.Embed(faults)
+			if err != nil {
+				continue
+			}
+			faultyReps := FaultyNecklaces(g, faults)
+			alive := func(x int) bool { return !faultyReps[g.NecklaceRep(x)] }
+			comp, err := LargestComponent(g, alive)
+			if err != nil {
+				t.Fatalf("B(%d,%d) faults=%v: %v", tc.d, tc.n, faults, err)
+			}
+			_, _, ecc := broadcastTreeLegacy(g, comp.MinNode, comp.Member)
+			if res.Eccentricity != ecc {
+				t.Errorf("B(%d,%d) faults=%v: Eccentricity=%d, legacy broadcast says %d",
+					tc.d, tc.n, faults, res.Eccentricity, ecc)
+			}
+		}
+	}
+}

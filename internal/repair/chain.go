@@ -190,13 +190,11 @@ func (c *chainPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 		// Accept only complete re-admissions: a splice heal that leaves
 		// healed processors off-ring would silently freeze the ring short
 		// of what a re-embed restores, so partial heals decline and let
-		// the session regrow via Embed.
-		onRing := make(map[int]bool, len(r))
-		for _, v := range r {
-			onRing[v] = true
-		}
+		// the session regrow via Embed.  The splice tier's pooled
+		// membership set is current right after its Unpatch, so the check
+		// costs no allocation (validBatch already range-checked v).
 		for _, v := range healed.Nodes {
-			if !onRing[v] {
+			if !c.splice.onRingHas(v) {
 				c.spliceSynced = false // the splice tier mutated; resync before reuse
 				return nil, Unsupported
 			}

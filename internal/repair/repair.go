@@ -45,6 +45,7 @@ import (
 	"math/bits"
 	"time"
 
+	"debruijnring/internal/dense"
 	"debruijnring/topology"
 )
 
@@ -193,6 +194,29 @@ type genericPatcher struct {
 	// holds that call's TierStep for LastTrace.
 	touched int
 	trace   []TierStep
+
+	// Pooled dense scratch, reused across every Patch/Unpatch/bypass so
+	// a steady-state splice event allocates only the ring copy it hands
+	// back.  All sets are epoch-stamped (O(1) reset, internal/dense).
+	//
+	// onRing is *incremental* ring-membership state: it stays valid
+	// across heal events (insertAfter registers new members) and is only
+	// rebuilt — lazily, via ensureOnRing — after a ring replacement that
+	// bypassed it (onRingOK false).  A successful patch refreshes it for
+	// free by swapping in the used set, whose members are by then exactly
+	// the new ring.
+	used     dense.Set  // patch: surviving arcs + committed bypass interiors
+	onRing   dense.Set  // incremental ring membership (see onRingOK)
+	onRingOK bool       // onRing matches p.ring
+	prev     dense.Ints // bypass BFS parent pointers, epoch-reset per attempt
+	frontier []int32    // bypass BFS frontier double-buffer
+	nextF    []int32
+	succBuf  []int // topology.Successors scratch
+	pathBuf  []int // bypass path reconstruction (returned; valid until next bypass)
+	seqBuf   []int // insertHealed splice sequence
+	segFlat  []int // surviving arcs, flattened
+	segEnds  []int // exclusive end offsets into segFlat, one per arc
+	ringNext []int // patch result double-buffer, swapped with ring
 }
 
 // LastTrace implements Tracer for the standalone splice patcher.
@@ -234,6 +258,29 @@ func (p *genericPatcher) reset(ring []int, f topology.FaultSet, dilation int) {
 	p.ring = append(p.ring[:0], ring...)
 	p.faults = f.Canonical()
 	p.valid = dilation <= 1 && len(ring) <= p.net.Nodes()
+	p.onRingOK = false
+}
+
+// ensureOnRing rebuilds the pooled ring-membership set if (and only if)
+// the ring was replaced since it was last valid.  Callers must hold
+// p.valid, which guarantees every ring node is in [0, Nodes()).
+func (p *genericPatcher) ensureOnRing() {
+	if p.onRingOK {
+		return
+	}
+	p.onRing.Reset(p.net.Nodes())
+	for _, v := range p.ring {
+		p.onRing.Add(v)
+	}
+	p.onRingOK = true
+}
+
+// onRingHas reports ring membership from the pooled incremental set.
+// v must be in [0, Nodes()) and the patcher valid — the chain patcher
+// range-checks every batch before either tier sees it.
+func (p *genericPatcher) onRingHas(v int) bool {
+	p.ensureOnRing()
+	return p.onRing.Has(v)
 }
 
 // genericState persists the one bit of incremental state the session's
@@ -268,14 +315,18 @@ func (p *genericPatcher) Restore(state []byte, ring []int, f topology.FaultSet) 
 	// available gate.
 	p.reset(ring, f, dilation)
 	if p.valid {
-		seen := make(map[int]bool, len(ring))
+		// The distinctness scan doubles as the onRing build.  Restored
+		// rings come from journals, so range-check before dense indexing:
+		// a corrupt ring must invalidate the patcher, not panic it.
+		n := p.net.Nodes()
+		p.onRing.Reset(n)
 		for _, v := range ring {
-			if seen[v] {
+			if v < 0 || v >= n || !p.onRing.Add(v) {
 				p.valid = false
 				break
 			}
-			seen[v] = true
 		}
+		p.onRingOK = p.valid
 	}
 	return nil
 }
@@ -316,8 +367,10 @@ func (p *genericPatcher) patch(add topology.FaultSet) ([]int, Outcome) {
 		return nil, Noop
 	}
 
-	// Cut the ring into surviving arcs.  Start the scan just past a
-	// severed hop so segments never straddle the wrap-around.
+	// Cut the ring into surviving arcs, flattened into the pooled
+	// segFlat/segEnds pair (segment i is segFlat[segEnds[i-1]:segEnds[i]]).
+	// Start the scan just past a severed hop so segments never straddle
+	// the wrap-around.
 	s := 0
 	for i := 0; i < k; i++ {
 		prev := p.ring[(i-1+k)%k]
@@ -326,55 +379,74 @@ func (p *genericPatcher) patch(add topology.FaultSet) ([]int, Outcome) {
 			break
 		}
 	}
-	var segments [][]int
-	var cur []int
+	p.segFlat = p.segFlat[:0]
+	p.segEnds = p.segEnds[:0]
 	for j := 0; j < k; j++ {
 		v := p.ring[(s+j)%k]
 		if badNode[v] {
-			if len(cur) > 0 {
-				segments = append(segments, cur)
-				cur = nil
-			}
+			p.closeSeg()
 			continue
 		}
-		cur = append(cur, v)
+		p.segFlat = append(p.segFlat, v)
 		if next := p.ring[(s+j+1)%k]; !badNode[next] && edgeCut(v, next) {
-			segments = append(segments, cur)
-			cur = nil
+			p.segEnds = append(p.segEnds, len(p.segFlat))
 		}
 	}
-	if len(cur) > 0 {
-		segments = append(segments, cur)
-	}
-	if len(segments) == 0 {
+	p.closeSeg()
+	nseg := len(p.segEnds)
+	if nseg == 0 {
 		p.valid = false
 		return nil, Unsupported
 	}
 
 	// Reconnect consecutive arcs in ring order: a direct surviving link,
 	// or a bypass path through fault-free nodes not already in use.
-	used := make(map[int]bool, k)
-	for _, seg := range segments {
-		for _, v := range seg {
-			used[v] = true
-		}
+	// bypass never marks candidates itself — only paths actually woven
+	// into the ring are committed to used, so a failed attempt for one
+	// cut edge cannot shrink the search space of the next.
+	p.used.Reset(p.net.Nodes())
+	for _, v := range p.segFlat {
+		p.used.Add(v)
 	}
-	newRing := make([]int, 0, k)
-	for gi, seg := range segments {
+	newRing := p.ringNext[:0]
+	for gi := 0; gi < nseg; gi++ {
+		lo := 0
+		if gi > 0 {
+			lo = p.segEnds[gi-1]
+		}
+		seg := p.segFlat[lo:p.segEnds[gi]]
 		newRing = append(newRing, seg...)
-		tail := seg[len(seg)-1]
-		head := segments[(gi+1)%len(segments)][0]
-		path, ok := p.bypass(tail, head, badNode, edgeCut, used)
+		ni := (gi + 1) % nseg
+		nlo := 0
+		if ni > 0 {
+			nlo = p.segEnds[ni-1]
+		}
+		path, ok := p.bypass(seg[len(seg)-1], p.segFlat[nlo], badNode, edgeCut, &p.used)
 		if !ok {
 			p.valid = false
 			return nil, Unsupported
 		}
 		p.touched++
+		for _, x := range path {
+			p.used.Add(x)
+		}
 		newRing = append(newRing, path...)
 	}
+	p.ringNext = p.ring
 	p.ring = newRing
+	// used now holds exactly the new ring's membership (arcs + committed
+	// interiors): swap it in as the incremental onRing state for free.
+	p.used, p.onRing = p.onRing, p.used
+	p.onRingOK = true
 	p.faults = combined
 	return append([]int(nil), newRing...), Patched
+}
+
+// closeSeg ends the currently open arc, if any, at len(segFlat).
+func (p *genericPatcher) closeSeg() {
+	if n := len(p.segFlat); n > 0 && (len(p.segEnds) == 0 || p.segEnds[len(p.segEnds)-1] < n) {
+		p.segEnds = append(p.segEnds, n)
+	}
 }
 
 // Unpatch absorbs healed components.  Healed links are pure
@@ -417,17 +489,20 @@ func (p *genericPatcher) unpatch(remove topology.FaultSet) ([]int, Outcome) {
 		return undirected && badEdge[topology.Edge{From: v, To: u}]
 	}
 	badNode := reduced.NodeSet()
-	onRing := make(map[int]bool, len(p.ring))
-	for _, v := range p.ring {
-		onRing[v] = true
-	}
+	// The pooled membership set survives from the last event when the
+	// ring has not been replaced since; otherwise one rebuild here.
+	p.ensureOnRing()
 
+	n := p.net.Nodes()
 	changed := false
 	for _, v := range healed.Nodes {
-		if onRing[v] {
-			continue // defensive: a faulty node is never on the ring
+		if v < 0 || v >= n || p.onRing.Has(v) {
+			// Out-of-range heals can never join a ring (defensive: the
+			// standalone patcher accepts unvalidated batches); on-ring
+			// heals are defensive too — a faulty node is never on the ring.
+			continue
 		}
-		if p.insertHealed(v, onRing, badNode, edgeCut) {
+		if p.insertHealed(v, badNode, edgeCut) {
 			changed = true
 			p.touched++
 		}
@@ -445,26 +520,31 @@ func (p *genericPatcher) unpatch(remove topology.FaultSet) ([]int, Outcome) {
 // (or u → … → v → w) with the longer side running through off-ring
 // fault-free survivors found by the same bounded BFS the fault
 // direction uses for bypasses.
-func (p *genericPatcher) insertHealed(v int, onRing, badNode map[int]bool, edgeCut func(int, int) bool) bool {
+func (p *genericPatcher) insertHealed(v int, badNode map[int]bool, edgeCut func(int, int) bool) bool {
 	k := len(p.ring)
 	for i, u := range p.ring {
 		w := p.ring[(i+1)%k]
 		if p.net.IsEdge(u, v) && p.net.IsEdge(v, w) && !edgeCut(u, v) && !edgeCut(v, w) {
-			p.insertAfter(i, []int{v}, onRing)
+			p.seqBuf = append(p.seqBuf[:0], v)
+			p.insertAfter(i, p.seqBuf)
 			return true
 		}
 	}
 	for i, u := range p.ring {
 		w := p.ring[(i+1)%k]
 		if p.net.IsEdge(u, v) && !edgeCut(u, v) {
-			if path, ok := p.bypass(v, w, badNode, edgeCut, onRing); ok {
-				p.insertAfter(i, append([]int{v}, path...), onRing)
+			if path, ok := p.bypass(v, w, badNode, edgeCut, &p.onRing); ok {
+				p.seqBuf = append(p.seqBuf[:0], v)
+				p.seqBuf = append(p.seqBuf, path...)
+				p.insertAfter(i, p.seqBuf)
 				return true
 			}
 		}
 		if p.net.IsEdge(v, w) && !edgeCut(v, w) {
-			if path, ok := p.bypass(u, v, badNode, edgeCut, onRing); ok {
-				p.insertAfter(i, append(path, v), onRing)
+			if path, ok := p.bypass(u, v, badNode, edgeCut, &p.onRing); ok {
+				p.seqBuf = append(p.seqBuf[:0], path...)
+				p.seqBuf = append(p.seqBuf, v)
+				p.insertAfter(i, p.seqBuf)
 				return true
 			}
 		}
@@ -473,21 +553,26 @@ func (p *genericPatcher) insertHealed(v int, onRing, badNode map[int]bool, edgeC
 }
 
 // insertAfter splices seq into the ring after position i, registering
-// the new members in onRing.
-func (p *genericPatcher) insertAfter(i int, seq []int, onRing map[int]bool) {
+// the new members in the incremental onRing set (which thereby stays
+// valid across consecutive heal events).
+func (p *genericPatcher) insertAfter(i int, seq []int) {
 	old := len(p.ring)
 	p.ring = append(p.ring, seq...)
 	copy(p.ring[i+1+len(seq):], p.ring[i+1:old])
 	copy(p.ring[i+1:i+1+len(seq)], seq)
 	for _, x := range seq {
-		onRing[x] = true
+		p.onRing.Add(x)
 	}
 }
 
 // bypass finds a path from tail to head whose interior avoids faulty and
 // already-used nodes, shorter than maxBypassLen hops.  It returns the
-// interior nodes (empty for a direct link) and marks them used.
-func (p *genericPatcher) bypass(tail, head int, badNode map[int]bool, edgeCut func(int, int) bool, used map[int]bool) ([]int, bool) {
+// interior nodes (empty for a direct link), valid only until the next
+// bypass call.  The search runs entirely on pooled epoch-stamped
+// scratch, reset per attempt, and never mutates used — the caller
+// commits accepted paths, so one attempt's candidate marks cannot leak
+// into the next.
+func (p *genericPatcher) bypass(tail, head int, badNode map[int]bool, edgeCut func(int, int) bool, used *dense.Set) ([]int, bool) {
 	if tail == head {
 		// A single one-node segment closing on itself needs a self-loop,
 		// which no adapter's verification accepts as a ring.
@@ -497,14 +582,15 @@ func (p *genericPatcher) bypass(tail, head int, badNode map[int]bool, edgeCut fu
 		return nil, true
 	}
 	limit := p.maxBypassLen()
-	prev := map[int]int{tail: -1}
-	frontier := []int{tail}
-	var buf []int
-	for depth := 0; depth < limit && len(frontier) > 0; depth++ {
-		var next []int
-		for _, u := range frontier {
-			buf = p.net.Successors(u, buf)
-			for _, w := range buf {
+	p.prev.Reset(p.net.Nodes())
+	p.prev.Set(tail, -1)
+	p.frontier = append(p.frontier[:0], int32(tail))
+	for depth := 0; depth < limit && len(p.frontier) > 0; depth++ {
+		p.nextF = p.nextF[:0]
+		for _, u32 := range p.frontier {
+			u := int(u32)
+			p.succBuf = p.net.Successors(u, p.succBuf)
+			for _, w := range p.succBuf {
 				if w == u || edgeCut(u, w) {
 					continue
 				}
@@ -513,29 +599,24 @@ func (p *genericPatcher) bypass(tail, head int, badNode map[int]bool, edgeCut fu
 						continue // direct link already rejected (faulty)
 					}
 					// Reconstruct the interior path u … tail, reversed.
-					var path []int
-					for x := u; x != tail; x = prev[x] {
+					path := p.pathBuf[:0]
+					for x := u; x != tail; x = int(p.prev.At(x)) {
 						path = append(path, x)
 					}
 					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 						path[i], path[j] = path[j], path[i]
 					}
-					for _, x := range path {
-						used[x] = true
-					}
+					p.pathBuf = path
 					return path, true
 				}
-				if badNode[w] || used[w] {
+				if badNode[w] || used.Has(w) || p.prev.Has(w) {
 					continue
 				}
-				if _, seen := prev[w]; seen {
-					continue
-				}
-				prev[w] = u
-				next = append(next, w)
+				p.prev.Set(w, int32(u))
+				p.nextF = append(p.nextF, int32(w))
 			}
 		}
-		frontier = next
+		p.frontier, p.nextF = p.nextF, p.frontier
 	}
 	return nil, false
 }
