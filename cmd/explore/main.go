@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"sort"
 
 	"debruijnring/internal/debruijn"
 	"debruijnring/internal/explore"
@@ -84,6 +85,7 @@ func main() {
 			for x := range faults {
 				fs = append(fs, x)
 			}
+			sort.Ints(fs)
 			cycle, bound := explore.Question3(*d, *n, fs)
 			if bound > 0 && len(cycle) < bound {
 				fmt.Printf("Q3 on UB(%d,%d): faults %v leave only a %d-cycle < dⁿ−nf = %d\n",

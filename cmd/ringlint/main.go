@@ -1,0 +1,124 @@
+// Command ringlint runs the repo's invariant-enforcing static-analysis
+// suite (package internal/lint): determinism of kernels and output
+// paths, transitively allocation-free hot paths, atomics discipline,
+// and journal-error hygiene.
+//
+// Usage:
+//
+//	ringlint [./...]     lint the module containing the working
+//	                     directory; print file:line diagnostics and
+//	                     exit 1 if there are findings
+//	ringlint -list       print the analyzer catalogue, the package
+//	                     classification and annotation counts, then
+//	                     exit 0 (the CI self-check mode)
+//
+// Package patterns other than the whole module are not supported: the
+// analyzers are cross-package (noalloc walks call graphs, atomics
+// correlates accesses module-wide), so ringlint always loads ./...
+// relative to the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"debruijnring/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print analyzers, classified packages and annotation counts")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ringlint [-list] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringlint:", err)
+		os.Exit(2)
+	}
+	cfg := lint.RepoConfig()
+	res, err := lint.Run(root, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringlint:", err)
+		os.Exit(2)
+	}
+
+	if *list {
+		printList(cfg, res)
+		return
+	}
+
+	for _, f := range res.Findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel.String())
+	}
+	if n := len(res.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "ringlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func printList(cfg lint.Config, res *lint.Result) {
+	fmt.Println("ringlint analyzers:")
+	fmt.Println("  determinism  kernel wall-clock/rand bans + module-wide map-order discipline")
+	fmt.Println("  noalloc      transitive allocation-freedom of //ringlint:noalloc roots")
+	fmt.Println("  atomics      no mixed atomic/plain access; no atomic.* value copies")
+	fmt.Println("  journal      Write/Append/Sync errors checked in session and fleet")
+	fmt.Println()
+	fmt.Println("kernel packages (time/rand/maporder):")
+	for _, p := range cfg.KernelPackages {
+		fmt.Println("  " + p)
+	}
+	for _, f := range cfg.KernelFiles {
+		fmt.Println("  " + f + " (file)")
+	}
+	fmt.Println("journal packages (Write/Append/Sync hygiene):")
+	for _, p := range cfg.JournalPackages {
+		fmt.Println("  " + p)
+	}
+	fmt.Println()
+	fmt.Printf("packages loaded: %d\n", len(res.Packages))
+	fmt.Printf("noalloc roots: %d\n", len(res.NoallocFuncs))
+	for _, fn := range res.NoallocFuncs {
+		fmt.Println("  " + fn)
+	}
+	counts := res.Annotations.AllowCount
+	rules := make([]string, 0, len(counts))
+	total := 0
+	for r, n := range counts {
+		rules = append(rules, r)
+		total += n
+	}
+	sort.Strings(rules)
+	fmt.Printf("allow annotations: %d\n", total)
+	for _, r := range rules {
+		fmt.Printf("  %-8s %d\n", r, counts[r])
+	}
+}

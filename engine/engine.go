@@ -56,6 +56,7 @@ type Engine struct {
 	// the registry side.
 	repairNs    [numRepairKinds]*obs.Histogram
 	repairTotal [numRepairKinds]*obs.Counter
+	journalErrs *obs.Counter // session_journal_errors_total
 
 	mu       sync.Mutex
 	cache    *lruCache
@@ -101,6 +102,8 @@ func New(opts Options) *Engine {
 		e.repairNs[kind] = reg.Histogram("session_repair_ns", "tier", kind.String())
 		e.repairTotal[kind] = reg.Counter("session_repair_total", "tier", kind.String())
 	}
+	reg.SetHelp("session_journal_errors_total", "session journal appends that failed (session degraded to memory-only durability)")
+	e.journalErrs = reg.Counter("session_journal_errors_total")
 	// Cache and replication counters live under the engine mutex; a
 	// collector mirrors them into the registry at scrape time.
 	reg.SetHelp("engine_cache_hits_total", "embed cache hits (in-flight collapses included)")
@@ -424,6 +427,15 @@ func (e *Engine) RecordRepair(kind RepairKind, elapsed time.Duration) {
 	case RepairSpliceHeal:
 		e.sessions.SpliceHeals++
 	}
+}
+
+// RecordJournalError accounts one failed local journal append.  The
+// session keeps serving from memory (the in-memory state machine is
+// authoritative for a live session), but the lost durability must be
+// visible: the counter feeds /metrics so operators can see a session
+// silently degrading before a restart loses its tail.
+func (e *Engine) RecordJournalError() {
+	e.journalErrs.Inc()
 }
 
 // RecordReplication accounts one replica journal append by the fleet's

@@ -102,7 +102,7 @@ func (h *Hash) Lookup(key string) string {
 
 func hashKey(s string) uint64 {
 	f := fnv.New64a()
-	f.Write([]byte(s))
+	f.Write([]byte(s)) //ringlint:allow journal hash.Hash writes never return an error
 	// FNV alone spreads the near-identical vnode keys ("s0#17",
 	// "s0#18", …) unevenly around the ring; a splitmix64 finalizer
 	// restores avalanche so the keyspace split stays close to fair.

@@ -229,6 +229,7 @@ func (rp *Replica) handlePromote(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rp.promoted = true
+	//ringlint:allow maporder close order across journal writers is immaterial
 	for name, jw := range rp.writers {
 		jw.Close()
 		delete(rp.writers, name)
@@ -271,6 +272,7 @@ func (rp *Replica) Promoted() bool {
 func (rp *Replica) Close() {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
+	//ringlint:allow maporder close order across journal writers is immaterial
 	for name, jw := range rp.writers {
 		jw.Close()
 		delete(rp.writers, name)

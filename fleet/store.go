@@ -320,6 +320,7 @@ func (s *ReplicatedStore) catchupLoop() {
 			return
 		}
 		var name string
+		//ringlint:allow maporder any dirty journal may catch up first; convergence is unordered
 		for n := range s.dirty {
 			name = n
 			break

@@ -18,9 +18,11 @@ type Set struct {
 }
 
 // Reset empties the set and (re)sizes it to hold members in [0, n).
+//
+//ringlint:noalloc
 func (s *Set) Reset(n int) {
 	if len(s.stamp) < n {
-		s.stamp = make([]uint32, n)
+		s.stamp = make([]uint32, n) //ringlint:allow alloc grow-once resize; steady-state resets are stamp bumps
 		s.epoch = 1
 		return
 	}
@@ -32,6 +34,8 @@ func (s *Set) Reset(n int) {
 }
 
 // Add inserts i, reporting whether it was newly added.
+//
+//ringlint:noalloc
 func (s *Set) Add(i int) bool {
 	if s.stamp[i] == s.epoch {
 		return false
@@ -41,6 +45,8 @@ func (s *Set) Add(i int) bool {
 }
 
 // Has reports membership of i.
+//
+//ringlint:noalloc
 func (s *Set) Has(i int) bool { return s.stamp[i] == s.epoch }
 
 // Ints is an epoch-stamped map [0, n) → int32 with O(1) Reset; absent
@@ -53,10 +59,12 @@ type Ints struct {
 }
 
 // Reset empties the map and (re)sizes it to keys in [0, n).
+//
+//ringlint:noalloc
 func (m *Ints) Reset(n int) {
 	if len(m.stamp) < n {
-		m.stamp = make([]uint32, n)
-		m.val = make([]int32, n)
+		m.stamp = make([]uint32, n) //ringlint:allow alloc grow-once resize; steady-state resets are stamp bumps
+		m.val = make([]int32, n) //ringlint:allow alloc grow-once resize; steady-state resets are stamp bumps
 		m.epoch = 1
 		return
 	}
@@ -68,12 +76,16 @@ func (m *Ints) Reset(n int) {
 }
 
 // Set stores v at key i.
+//
+//ringlint:noalloc
 func (m *Ints) Set(i int, v int32) {
 	m.stamp[i] = m.epoch
 	m.val[i] = v
 }
 
 // Get returns the value at i and whether it is present.
+//
+//ringlint:noalloc
 func (m *Ints) Get(i int) (int32, bool) {
 	if m.stamp[i] != m.epoch {
 		return 0, false
@@ -82,7 +94,11 @@ func (m *Ints) Get(i int) (int32, bool) {
 }
 
 // Has reports whether key i is present.
+//
+//ringlint:noalloc
 func (m *Ints) Has(i int) bool { return m.stamp[i] == m.epoch }
 
 // At returns the value at i; it must be present.
+//
+//ringlint:noalloc
 func (m *Ints) At(i int) int32 { return m.val[i] }

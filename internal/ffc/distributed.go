@@ -3,6 +3,7 @@ package ffc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"debruijnring/internal/debruijn"
@@ -291,7 +292,16 @@ func EmbedDistributedFrom(g *debruijn.Graph, faults []int, root int) (*DistResul
 	// Each participating entry node passes the membership list around its
 	// necklace; when it reaches the exit for the same label, the exit
 	// applies the Step-2 ordering to pick its H-successor.
-	for v, list := range entryLists {
+	// Iterate entry nodes in sorted order so the send sequence — and
+	// therefore netsim's per-round inbox contents — is independent of
+	// Go's randomized map iteration.
+	entryNodes := make([]int, 0, len(entryLists))
+	for v := range entryLists {
+		entryNodes = append(entryNodes, v)
+	}
+	sort.Ints(entryNodes)
+	for _, v := range entryNodes {
+		list := entryLists[v]
 		w := g.Prefix(v)
 		st := &states[v]
 		if st.isExit && st.exitW == w && st.successor < 0 {

@@ -10,6 +10,7 @@ package hypercube
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // NumNodes returns 2ⁿ.
@@ -196,6 +197,7 @@ func chooseSplit(n int, faults map[int]bool, j int) int {
 	for x := range faults {
 		list = append(list, x)
 	}
+	sort.Ints(list)
 	for i := 0; i < n; i++ {
 		if i == j {
 			continue

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ringlint directives (see doc.go for the grammar):
+//
+//	//ringlint:noalloc
+//	//ringlint:allow <rule> <reason...>
+const directivePrefix = "//ringlint:"
+
+// Allow is one parsed //ringlint:allow directive.
+type Allow struct {
+	Rule   string
+	Reason string
+	Pos    token.Position
+}
+
+// Annotations holds every parsed directive of a run, indexed for
+// suppression checks, plus findings for malformed directives.
+type Annotations struct {
+	// allows maps file name -> line -> allows registered on that line.
+	allows map[string]map[int][]Allow
+	// noalloc maps the *types.Func of every //ringlint:noalloc-marked
+	// function to its declaration.
+	noalloc map[*types.Func]*ast.FuncDecl
+	// AllowCount counts allow directives by rule, for -list.
+	AllowCount map[string]int
+	problems   []Finding
+}
+
+// NoallocRoots exposes the marked functions (analyzer entry points).
+func (a *Annotations) NoallocRoots() map[*types.Func]*ast.FuncDecl { return a.noalloc }
+
+// allowRules are the rule names an allow directive may name.
+var allowRules = map[string]bool{
+	"time":     true,
+	"rand":     true,
+	"maporder": true,
+	"alloc":    true,
+	"atomic":   true,
+	"journal":  true,
+}
+
+func collectAnnotations(l *Loader, pkgs []*Package) *Annotations {
+	a := &Annotations{
+		allows:     map[string]map[int][]Allow{},
+		noalloc:    map[*types.Func]*ast.FuncDecl{},
+		AllowCount: map[string]int{},
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					a.parseDirective(l, c)
+				}
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) != directivePrefix+"noalloc" {
+						continue
+					}
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						a.noalloc[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+func (a *Annotations) parseDirective(l *Loader, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, directivePrefix) {
+		return
+	}
+	pos := l.fset.Position(c.Pos())
+	body := strings.TrimPrefix(text, directivePrefix)
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		a.problem(pos, "empty ringlint directive")
+		return
+	}
+	switch fields[0] {
+	case "noalloc":
+		if len(fields) != 1 {
+			a.problem(pos, "ringlint:noalloc takes no arguments")
+		}
+		// Association with a func decl is checked in collectAnnotations;
+		// a stray noalloc comment not attached to one is harmless.
+	case "allow":
+		if len(fields) < 2 || !allowRules[fields[1]] {
+			a.problem(pos, "ringlint:allow needs a rule (time|rand|maporder|alloc|atomic|journal)")
+			return
+		}
+		if len(fields) < 3 {
+			a.problem(pos, "ringlint:allow "+fields[1]+" needs a reason")
+			return
+		}
+		al := Allow{Rule: fields[1], Reason: strings.Join(fields[2:], " "), Pos: pos}
+		byLine := a.allows[pos.Filename]
+		if byLine == nil {
+			byLine = map[int][]Allow{}
+			a.allows[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], al)
+		a.AllowCount[al.Rule]++
+	default:
+		a.problem(pos, "unknown ringlint directive "+fields[0])
+	}
+}
+
+func (a *Annotations) problem(pos token.Position, msg string) {
+	a.problems = append(a.problems, Finding{Pos: pos, Analyzer: "directive", Rule: "directive", Msg: msg})
+}
+
+// allowed reports whether f is suppressed by an allow directive on the
+// finding's own line (trailing comment) or the line directly above it.
+func (a *Annotations) allowed(f Finding) bool {
+	byLine := a.allows[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, al := range byLine[line] {
+			if al.Rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}

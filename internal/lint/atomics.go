@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// analyzeAtomics enforces atomics discipline module-wide:
+//
+//  1. Mixed access: any struct field or package-level variable whose
+//     address is passed to a sync/atomic function (atomic.AddInt64(&x.f)
+//     style) must never be read or written plainly anywhere in the
+//     module — a plain load can observe a torn or stale value and a
+//     plain store silently loses concurrent updates.
+//
+//  2. Value misuse of the atomic.* types: copying an atomic.Int64 (and
+//     friends) by value — assignment, argument, return — detaches the
+//     copy from the shared cell; go vet's copylocks does not cover
+//     these types.
+//
+// Accessor methods (or an //ringlint:allow atomic annotation for
+// pre-publication initialization) are the fixes.
+func analyzeAtomics(l *Loader, pkgs []*Package) []Finding {
+	a := &atomicsPass{l: l, fields: map[types.Object][]token.Pos{}, sanctioned: map[*ast.Ident]bool{}}
+	// Pass 1: collect every object used through sync/atomic functions,
+	// remembering the identifiers inside those sanctioned call sites.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				a.recordAtomicCall(p, call)
+				return true
+			})
+		}
+	}
+	// Pass 2: flag plain accesses of collected objects and value copies
+	// of atomic.* typed cells.
+	var out []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			out = append(out, a.scanPlainAccess(p, f)...)
+			out = append(out, a.scanValueCopies(p, f)...)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+type atomicsPass struct {
+	l *Loader
+	// fields maps each atomically-accessed object to the call positions
+	// that sanctioned it (for the diagnostic).
+	fields map[types.Object][]token.Pos
+	// sanctioned marks identifier nodes that appear inside a
+	// sync/atomic call argument (so pass 2 does not flag them).
+	sanctioned map[*ast.Ident]bool
+}
+
+// recordAtomicCall matches atomic.XxxInt64(&obj, ...) style calls and
+// records the addressed object.
+func (a *atomicsPass) recordAtomicCall(p *Package, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || selectorPackage(p.Info, sel) != "sync/atomic" {
+		return
+	}
+	for _, arg := range call.Args {
+		un, ok := unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		target := unparen(un.X)
+		var id *ast.Ident
+		switch t := target.(type) {
+		case *ast.Ident:
+			id = t
+		case *ast.SelectorExpr:
+			id = t.Sel
+		}
+		if id == nil {
+			continue
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if v, ok := obj.(*types.Var); ok && (v.IsField() || v.Parent() == v.Pkg().Scope()) {
+			a.fields[obj] = append(a.fields[obj], call.Pos())
+			a.sanctioned[id] = true
+		}
+	}
+}
+
+func (a *atomicsPass) scanPlainAccess(p *Package, f *ast.File) []Finding {
+	if len(a.fields) == 0 {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || a.sanctioned[id] {
+			return true
+		}
+		if _, atomicObj := a.fields[obj]; !atomicObj {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:      a.l.fset.Position(id.Pos()),
+			Analyzer: "atomics",
+			Rule:     "atomic",
+			Msg:      obj.Name() + " is accessed via sync/atomic elsewhere; plain reads/writes race with it (use the atomic accessors, or //ringlint:allow atomic <reason> for pre-publication init)",
+		})
+		return true
+	})
+	return out
+}
+
+// scanValueCopies flags value copies of sync/atomic cell types.
+func (a *atomicsPass) scanValueCopies(p *Package, f *ast.File) []Finding {
+	var out []Finding
+	report := func(e ast.Expr, what string) {
+		out = append(out, Finding{
+			Pos:      a.l.fset.Position(e.Pos()),
+			Analyzer: "atomics",
+			Rule:     "atomic",
+			Msg:      what + " copies a sync/atomic value; the copy detaches from the shared cell (keep a pointer instead)",
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				if isAtomicValueExpr(p.Info, rhs) {
+					report(rhs, "assignment")
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := p.Info.Types[st.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range st.Args {
+				if isAtomicValueExpr(p.Info, arg) {
+					report(arg, "argument")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if isAtomicValueExpr(p.Info, r) {
+					report(r, "return")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAtomicValueExpr reports whether e is a non-pointer expression of a
+// sync/atomic cell type (Int32, Int64, Uint32, Uint64, Uintptr, Bool,
+// Value, Pointer[T]) used as a value.  Method calls auto-address the
+// receiver and are not matched here (e is the selector's base there,
+// not a standalone expression).
+func isAtomicValueExpr(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isAtomicCellType(tv.Type)
+}
+
+func isAtomicCellType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Pointer[T] instantiations are *types.Named too; aliases
+		// resolve through Unalias.
+		named, ok = types.Unalias(t).(*types.Named)
+		if !ok {
+			return false
+		}
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Bool", "Value", "Pointer":
+		return true
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzeJournal enforces journal hygiene in the classified packages
+// (session, fleet): every call to a Write/Append/Sync method or
+// function that returns an error must have that error checked.  A
+// dropped journal error is a silently lost acknowledgement — the one
+// failure mode the fleet's replication design cannot tolerate.
+//
+// Flagged shapes: the call as a bare statement, `_ =` (or all-blank)
+// assignment of its results, and `go`/`defer` invocations (whose error
+// is unobservable).
+func analyzeJournal(l *Loader, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !l.Config.journalPackage(p.Rel) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						if name, match := journalCall(p.Info, call); match {
+							out = append(out, journalFinding(l, call, name, "error discarded"))
+						}
+					}
+				case *ast.GoStmt:
+					if name, match := journalCall(p.Info, st.Call); match {
+						out = append(out, journalFinding(l, st.Call, name, "error unobservable in go statement"))
+					}
+				case *ast.DeferStmt:
+					if name, match := journalCall(p.Info, st.Call); match {
+						out = append(out, journalFinding(l, st.Call, name, "error unobservable in defer"))
+					}
+				case *ast.AssignStmt:
+					if len(st.Rhs) != 1 {
+						return true
+					}
+					call, ok := st.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name, match := journalCall(p.Info, call)
+					if !match {
+						return true
+					}
+					// The error is the last result; flag when its LHS
+					// slot (or the single LHS of a 1-result call) is _.
+					if isBlank(st.Lhs[len(st.Lhs)-1]) {
+						out = append(out, journalFinding(l, call, name, "error assigned to _"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func journalFinding(l *Loader, call *ast.CallExpr, name, how string) Finding {
+	return Finding{
+		Pos:      l.fset.Position(call.Pos()),
+		Analyzer: "journal",
+		Rule:     "journal",
+		Msg:      name + ": " + how + " — journal/store write errors must be checked (silent ack loss), or annotate //ringlint:allow journal <reason>",
+	}
+}
+
+// journalCall reports whether call invokes a function or method named
+// Write, Append or Sync whose last result is error.
+func journalCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var name string
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		obj = info.Uses[fun.Sel]
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		}
+		// Best-effort HTTP response writes are not journal writes: every
+		// Go handler drops http.ResponseWriter.Write errors (the peer
+		// hanging up is not an integrity event).
+		if tv, ok := info.Types[fun.X]; ok && isHTTPResponseWriter(tv.Type) {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	switch name {
+	case "Write", "Append", "Sync":
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return fn.FullName(), true
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isHTTPResponseWriter(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

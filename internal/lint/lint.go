@@ -1,0 +1,366 @@
+// Package lint implements ringlint, the repo's invariant-enforcing
+// static-analysis suite.  See doc.go for the analyzer catalogue and the
+// //ringlint: annotation grammar.
+//
+// The implementation is standard-library only: packages are parsed with
+// go/parser, type-checked with go/types, and stdlib imports are resolved
+// by the source importer (go/importer "source"), so the module keeps its
+// zero-dependency guarantee.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a rule violation at a position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string // determinism | noalloc | atomics | journal | directive
+	Rule     string // time | rand | maporder | alloc | atomic | journal | directive
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s/%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Rule, f.Msg)
+}
+
+// Package is one loaded, type-checked package of the target module.
+type Package struct {
+	Path   string // import path
+	Rel    string // module-relative dir ("." for the root)
+	Dir    string
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Kernel bool // determinism time/rand rules apply package-wide
+}
+
+// Config classifies the target tree for the analyzers.
+type Config struct {
+	// Module is the module path; import paths are Module or
+	// Module/<rel>.
+	Module string
+	// KernelPackages are module-relative package dirs whose code must be
+	// deterministic: time.Now/Since, the global math/rand source, and
+	// unordered map iteration are forbidden there.
+	KernelPackages []string
+	// KernelFiles are module-relative files given kernel determinism
+	// rules even though the rest of their package is not a kernel
+	// (e.g. fleet/hash.go).
+	KernelFiles []string
+	// JournalPackages are module-relative package dirs where every error
+	// from a Write/Append/Sync call must be checked (silent ack loss is
+	// the fleet's one unforgivable bug).
+	JournalPackages []string
+	// SkipDirs are directory basenames excluded from the walk, in
+	// addition to testdata, hidden dirs, and _-prefixed dirs.
+	SkipDirs []string
+}
+
+// RepoConfig is the committed classification of this repository.
+func RepoConfig() Config {
+	return Config{
+		Module: "debruijnring",
+		KernelPackages: []string{
+			"internal/ffc",
+			"internal/repair",
+			"internal/dense",
+			"internal/netsim",
+		},
+		KernelFiles: []string{
+			"fleet/hash.go",
+		},
+		JournalPackages: []string{
+			"session",
+			"fleet",
+		},
+	}
+}
+
+func (c Config) kernelPackage(rel string) bool {
+	for _, k := range c.KernelPackages {
+		if rel == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) kernelFile(relFile string) bool {
+	for _, k := range c.KernelFiles {
+		if relFile == filepath.ToSlash(k) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) journalPackage(rel string) bool {
+	for _, j := range c.JournalPackages {
+		if rel == j || strings.HasPrefix(rel, j+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of one Run: the loaded packages, the parsed
+// annotations, and the surviving (non-suppressed) findings.
+type Result struct {
+	Findings    []Finding
+	Packages    []*Package
+	Annotations *Annotations
+	// NoallocFuncs are the names of the transitive noalloc roots, for
+	// the -list self-check.
+	NoallocFuncs []string
+}
+
+// Loader parses and type-checks the module rooted at Root.
+type Loader struct {
+	Root   string
+	Config Config
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+	dirs map[string]string   // import path -> dir
+	load map[string]bool     // in-progress, for cycle detection
+}
+
+// NewLoader returns a loader for the module tree rooted at root.
+func NewLoader(root string, cfg Config) *Loader {
+	fset := token.NewFileSet()
+	// The source importer type-checks stdlib packages from GOROOT
+	// source; cgo variants (net, os/user) cannot be type-checked that
+	// way, so force the pure-Go fallbacks.
+	build.Default.CgoEnabled = false
+	return &Loader{
+		Root:   root,
+		Config: cfg,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*Package{},
+		dirs:   map[string]string{},
+		load:   map[string]bool{},
+	}
+}
+
+// Fset exposes the loader's position table.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadAll discovers every non-test package under Root and type-checks
+// it (and, transitively, its module-internal imports).  Packages are
+// returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.loadPackage(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+func (l *Loader) skipDir(name string) bool {
+	if name == "testdata" || name == "vendor" {
+		return true
+	}
+	if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return true
+	}
+	for _, s := range l.Config.SkipDirs {
+		if name == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Loader) discover() error {
+	return filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != l.Root && l.skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			rel, err := filepath.Rel(l.Root, path)
+			if err != nil {
+				return err
+			}
+			ip := l.Config.Module
+			if rel != "." {
+				ip = l.Config.Module + "/" + filepath.ToSlash(rel)
+			}
+			l.dirs[ip] = path
+			break
+		}
+		return nil
+	})
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// tree, everything else (stdlib) goes to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Config.Module || strings.HasPrefix(path, l.Config.Module+"/") {
+		pkg, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no such module package %q", path)
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) loadPackage(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %q", path)
+	}
+	if l.load[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.load[path] = true
+	defer delete(l.load, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	p := &Package{
+		Path:   path,
+		Rel:    rel,
+		Dir:    dir,
+		Files:  files,
+		Pkg:    tpkg,
+		Info:   info,
+		Kernel: l.Config.kernelPackage(rel),
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// relFile returns the module-relative slash path of a file position.
+func (l *Loader) relFile(pos token.Pos) string {
+	file := l.fset.Position(pos).Filename
+	rel, err := filepath.Rel(l.Root, file)
+	if err != nil {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Run loads the module at root and applies every analyzer, returning
+// the surviving findings sorted by position.
+func Run(root string, cfg Config) (*Result, error) {
+	l := NewLoader(root, cfg)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	ann := collectAnnotations(l, pkgs)
+	res := &Result{Packages: pkgs, Annotations: ann}
+
+	var raw []Finding
+	raw = append(raw, ann.problems...)
+	raw = append(raw, analyzeDeterminism(l, pkgs)...)
+	noalloc, roots := analyzeNoalloc(l, pkgs, ann)
+	raw = append(raw, noalloc...)
+	res.NoallocFuncs = roots
+	raw = append(raw, analyzeAtomics(l, pkgs)...)
+	raw = append(raw, analyzeJournal(l, pkgs)...)
+
+	for _, f := range raw {
+		if ann.allowed(f) {
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return res, nil
+}

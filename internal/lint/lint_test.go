@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture goldens")
+
+// fixtures pairs each analyzer fixture under testdata/src with the
+// classification its cases assume.  Every fixture holds at least one
+// bad case, one clean case and one //ringlint:allow-ed case per rule
+// it exercises; expected.txt is the golden finding list.
+var fixtures = []struct {
+	name string
+	cfg  Config
+}{
+	{"determinism", Config{Module: "fixture", KernelPackages: []string{"."}}},
+	{"noalloc", Config{Module: "fixture"}},
+	{"atomics", Config{Module: "fixture"}},
+	{"journal", Config{Module: "fixture", JournalPackages: []string{"."}}},
+	{"directive", Config{Module: "fixture"}},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			root, err := filepath.Abs(filepath.Join("testdata", "src", fx.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(root, fx.cfg)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", fx.name, err)
+			}
+			got := renderFindings(root, res.Findings)
+			golden := filepath.Join(root, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// renderFindings formats findings root-relative without messages, so
+// the goldens pin positions and rules but tolerate diagnostic rewording.
+func renderFindings(root string, fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil {
+			name = filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(&b, "%s:%d: [%s/%s]\n", name, f.Pos.Line, f.Analyzer, f.Rule)
+	}
+	return b.String()
+}
+
+// TestRepoClean runs the full suite over the repository itself: the
+// committed tree must stay finding-free, the same gate CI enforces via
+// cmd/ringlint.
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found: %v", err)
+	}
+	res, err := Run(root, RepoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the atomics analyzer: plain access to a
+// field that is updated via sync/atomic elsewhere, value copies of the
+// typed atomic cells, and the pre-publication allow escape hatch.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+// Bump updates n atomically; this sanctions n as an atomic field.
+func (c *counter) Bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Racy is the bad case: a plain read of the atomically-updated field.
+func (c *counter) Racy() int64 {
+	return c.n
+}
+
+// Load is the clean case.
+func (c *counter) Load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// NewCounter is the allowed case: pre-publication initialization.
+func NewCounter() *counter {
+	c := new(counter)
+	c.n = 1 //ringlint:allow atomic pre-publication init in fixture
+	return c
+}
+
+type typedCell struct {
+	v atomic.Int64
+}
+
+// Copy is the bad case: returning the cell by value detaches the copy.
+func (t *typedCell) Copy() atomic.Int64 {
+	return t.v
+}
+
+// Ptr is the clean case: hand out a pointer to the shared cell.
+func (t *typedCell) Ptr() *atomic.Int64 {
+	return &t.v
+}

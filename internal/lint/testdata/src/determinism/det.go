@@ -1,0 +1,68 @@
+// Package fixture exercises the determinism analyzer: kernel wall-clock
+// and rand bans, and the module-wide map-order discipline with its
+// order-insensitivity prover.  The fixture's Config classifies this
+// directory as a kernel package.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp is the bad case: a wall-clock read in kernel code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter is the bad case: a draw from the global math/rand source.
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// Seeded is the clean case: constructing a private source is allowed,
+// only global draws are banned.
+func Seeded() *rand.Rand {
+	return rand.New(rand.NewSource(5))
+}
+
+// AllowedStamp is the allowed case: trace-only timing.
+func AllowedStamp() time.Time {
+	return time.Now() //ringlint:allow time trace-only timing in fixture
+}
+
+// Sum is the provable case: numeric accumulation commutes.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys is the provable case: append then sort.
+func Keys(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Leak is the bad case: iteration order escapes into the result.
+func Leak(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Annotated is the allowed map-order case.
+func Annotated(m map[int]func()) {
+	//ringlint:allow maporder call order is immaterial in fixture
+	for _, fn := range m {
+		fn()
+	}
+}

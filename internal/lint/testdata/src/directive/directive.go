@@ -1,0 +1,21 @@
+// Package fixture exercises the directive pseudo-analyzer: malformed
+// //ringlint: comments are findings in their own right, so a typo can
+// never silently suppress nothing.
+package fixture
+
+//ringlint:frobnicate
+func Unknown() {}
+
+//ringlint:allow
+func MissingRule() {}
+
+//ringlint:allow maporder
+func MissingReason() {}
+
+//ringlint:allow bogus because reasons
+func BadRule() {}
+
+// WellFormed carries a valid (if unused) allow; no finding.
+func WellFormed() int {
+	return 1 //ringlint:allow time unused but well-formed
+}

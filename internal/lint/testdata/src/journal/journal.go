@@ -1,0 +1,39 @@
+// Package fixture exercises the journal analyzer: discarded, blanked
+// and unobservable Write/Append/Sync errors in a journal-classified
+// package, plus the checked and allowed cases.
+package fixture
+
+import "errors"
+
+type journal struct{}
+
+func (journal) Append(ev string) error { return errors.New("disk full") }
+func (journal) Sync() error            { return nil }
+
+// Drop is the bad case: the error dies as a bare statement.
+func Drop(j journal) {
+	j.Append("ev")
+}
+
+// Blank is the bad case: the error is assigned to _.
+func Blank(j journal) {
+	_ = j.Append("ev")
+}
+
+// Async is the bad case: a go statement makes the error unobservable.
+func Async(j journal) {
+	go j.Sync()
+}
+
+// Checked is the clean case.
+func Checked(j journal) error {
+	if err := j.Append("ev"); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// Hashed is the allowed case: a writer that cannot fail.
+func Hashed(j journal) {
+	j.Append("ev") //ringlint:allow journal fixture writer never fails
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the noalloc analyzer: direct allocation in
+// a marked root, transitive allocation through a helper, fmt calls, and
+// the //ringlint:allow alloc escape hatch.
+package fixture
+
+import "fmt"
+
+type buf struct {
+	scratch []int
+}
+
+// Grow is the bad case: a make in a noalloc root.
+//
+//ringlint:noalloc
+func (b *buf) Grow(n int) {
+	b.scratch = make([]int, n)
+}
+
+// Push is the transitive bad case: the allocation sits in a callee.
+//
+//ringlint:noalloc
+func (b *buf) Push(v int) {
+	b.helper(v)
+}
+
+func (b *buf) helper(v int) {
+	b.scratch = append(b.scratch, v)
+	fmt.Sprintln(v)
+}
+
+// Zero is the clean case: index writes only.
+//
+//ringlint:noalloc
+func (b *buf) Zero() {
+	for i := range b.scratch {
+		b.scratch[i] = 0
+	}
+}
+
+// Pooled is the allowed case: amortized growth of pooled scratch.
+//
+//ringlint:noalloc
+func (b *buf) Pooled(v int) {
+	b.scratch = append(b.scratch, v) //ringlint:allow alloc pooled scratch in fixture
+}

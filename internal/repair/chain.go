@@ -58,6 +58,7 @@ func (c *chainPatcher) LastTrace() []TierStep { return c.trace }
 
 // traceStep appends one tier attempt to the current call's trace.
 func (c *chainPatcher) traceStep(tier string, o Outcome, touched int, start time.Time) {
+	//ringlint:allow time trace-only timing; Elapsed is diagnostic, never replayed or hashed
 	c.trace = append(c.trace, TierStep{Tier: tier, Outcome: o, Touched: touched, Elapsed: time.Since(start)})
 }
 
@@ -118,7 +119,7 @@ func (c *chainPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 		return nil, Unsupported
 	}
 	if !c.spliceOwns {
-		start := time.Now()
+		start := time.Now() //ringlint:allow time trace-only timing
 		r, o := c.ffc.Patch(add)
 		c.traceStep("ffc", o, c.ffc.touched, start)
 		if o != Unsupported {
@@ -134,7 +135,7 @@ func (c *chainPatcher) Patch(add topology.FaultSet) ([]int, Outcome) {
 		// declines everything until the next Embed, so the mirror is the
 		// single source of truth for the splice tier below.
 	}
-	start := time.Now()
+	start := time.Now() //ringlint:allow time trace-only timing
 	if !c.syncSplice() {
 		c.traceStep("splice", Unsupported, 0, start)
 		return nil, Unsupported
@@ -164,7 +165,7 @@ func (c *chainPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 		return nil, Unsupported
 	}
 	if !c.spliceOwns {
-		start := time.Now()
+		start := time.Now() //ringlint:allow time trace-only timing
 		r, o := c.ffc.Unpatch(remove)
 		c.traceStep("ffc", o, c.ffc.touched, start)
 		if o != Unsupported {
@@ -176,7 +177,7 @@ func (c *chainPatcher) Unpatch(remove topology.FaultSet) ([]int, Outcome) {
 			return r, o
 		}
 	}
-	start := time.Now()
+	start := time.Now() //ringlint:allow time trace-only timing
 	if !c.syncSplice() {
 		c.traceStep("splice", Unsupported, 0, start)
 		return nil, Unsupported

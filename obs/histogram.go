@@ -81,6 +81,8 @@ func bucketMid(idx int) int64 {
 
 // Observe records one value.  Safe for concurrent use; nil-safe so
 // callers can leave metrics unwired.
+//
+//ringlint:noalloc
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -209,6 +211,7 @@ func MergeHistograms(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
 	}
 	if len(acc) > 0 {
 		out.Buckets = make([][2]int64, 0, len(acc))
+		//ringlint:allow maporder buckets are sorted by sortBucketPairs below
 		for idx, n := range acc {
 			out.Buckets = append(out.Buckets, [2]int64{idx, n})
 		}

@@ -22,6 +22,8 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
+//
+//ringlint:noalloc
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -29,6 +31,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
+//
+//ringlint:noalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Set overwrites the counter; for collectors mirroring totals owned
@@ -51,6 +55,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the gauge value.
+//
+//ringlint:noalloc
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -58,6 +64,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the gauge by n (may be negative).
+//
+//ringlint:noalloc
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -275,6 +283,7 @@ func Merge(snaps ...Snapshot) (Snapshot, error) {
 		for k, v := range s.Gauges {
 			out.Gauges[k] += v
 		}
+		//ringlint:allow maporder keyed merge; MergeHistograms is commutative per key
 		for k, h := range s.Histograms {
 			merged, err := MergeHistograms(out.Histograms[k], h)
 			if err != nil {

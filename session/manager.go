@@ -284,6 +284,7 @@ func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
 	sessions := make([]*Session, 0, len(m.sessions))
+	//ringlint:allow maporder close fan-out order is immaterial
 	for _, s := range m.sessions {
 		if s != nil {
 			sessions = append(sessions, s)

@@ -520,11 +520,15 @@ func (s *Session) finishEventLocked(ev *Event, start time.Time, record bool, kin
 // appendJournal writes one event through the store's journal writer.
 // Append errors do not fail the event — the in-memory state machine is
 // authoritative for a live session and degrading to memory-only beats
-// rejecting traffic — but they would surface on the next Restore, and
-// the fleet's replicated store counts them in the engine stats.
+// rejecting traffic — but the lost durability is counted in the
+// engine's session_journal_errors_total so a degrading session is
+// visible on /metrics before a restart loses its tail.
 func (s *Session) appendJournal(ev Event) {
-	if s.journal != nil {
-		s.journal.Append(ev)
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(ev); err != nil && s.mgr != nil && s.mgr.eng != nil {
+		s.mgr.eng.RecordJournalError()
 	}
 }
 
@@ -630,7 +634,7 @@ func ringHash(ring []int) string {
 	var b [8]byte
 	for _, v := range ring {
 		binary.LittleEndian.PutUint64(b[:], uint64(v))
-		h.Write(b[:])
+		h.Write(b[:]) //ringlint:allow journal hash.Hash writes never return an error
 	}
 	return strconv.FormatUint(h.Sum64(), 16)
 }
